@@ -1,0 +1,181 @@
+//! 64-bit limb primitives shared by all field implementations.
+//!
+//! All helpers are `const fn` so that the per-field Montgomery constants
+//! (`R`, `R2`, `R3`, `INV`) can be derived from the modulus at compile time
+//! instead of being hand-transcribed (a classic source of silent corruption
+//! in from-scratch field code).
+
+/// Add with carry: returns `(a + b + carry) mod 2^64` and the carry-out.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtract with borrow: returns `a - b - (borrow >> 63)` and the new borrow
+/// (`u64::MAX` when a borrow occurred, `0` otherwise).
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub((b as u128) + ((borrow >> 63) as u128));
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Multiply-accumulate: returns `(a + b*c + carry) mod 2^64` and the high word.
+#[inline(always)]
+pub const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) * (c as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// `a >= b` on 4 little-endian limbs.
+#[inline(always)]
+pub const fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    let mut i = 3;
+    loop {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+        if i == 0 {
+            return true;
+        }
+        i -= 1;
+    }
+}
+
+/// 4-limb addition (no reduction). Panics in const-eval on overflow, which
+/// cannot happen for operands `< 2^255`.
+pub const fn add4(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let (r0, c) = adc(a[0], b[0], 0);
+    let (r1, c) = adc(a[1], b[1], c);
+    let (r2, c) = adc(a[2], b[2], c);
+    let (r3, c) = adc(a[3], b[3], c);
+    assert!(c == 0);
+    [r0, r1, r2, r3]
+}
+
+/// 4-limb subtraction `a - b`, assuming `a >= b`.
+pub const fn sub4(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let (r0, br) = sbb(a[0], b[0], 0);
+    let (r1, br) = sbb(a[1], b[1], br);
+    let (r2, br) = sbb(a[2], b[2], br);
+    let (r3, br) = sbb(a[3], b[3], br);
+    assert!(br == 0);
+    [r0, r1, r2, r3]
+}
+
+/// `2a mod p` for `a < p < 2^255`.
+pub const fn double_mod(a: &[u64; 4], p: &[u64; 4]) -> [u64; 4] {
+    let d = add4(a, a);
+    if geq(&d, p) {
+        sub4(&d, p)
+    } else {
+        d
+    }
+}
+
+/// `2^exp mod p` computed by repeated doubling (const-eval friendly).
+pub const fn pow2_mod(exp: u32, p: &[u64; 4]) -> [u64; 4] {
+    let mut acc = [1u64, 0, 0, 0];
+    let mut i = 0;
+    while i < exp {
+        acc = double_mod(&acc, p);
+        i += 1;
+    }
+    acc
+}
+
+/// `-p^{-1} mod 2^64` via Newton iteration (requires odd `p0`).
+pub const fn mont_inv(p0: u64) -> u64 {
+    let mut inv = 1u64;
+    let mut i = 0;
+    while i < 6 {
+        // Each iteration doubles the number of correct low bits (1 -> 64).
+        inv = inv.wrapping_mul(2u64.wrapping_sub(p0.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv.wrapping_neg()
+}
+
+/// Logical right shift of a 4-limb value by `s < 64` bits.
+pub const fn shr4(a: &[u64; 4], s: u32) -> [u64; 4] {
+    if s == 0 {
+        return *a;
+    }
+    let inv = 64 - s;
+    [
+        (a[0] >> s) | (a[1] << inv),
+        (a[1] >> s) | (a[2] << inv),
+        (a[2] >> s) | (a[3] << inv),
+        a[3] >> s,
+    ]
+}
+
+/// `a - 1` on 4 limbs (assumes `a > 0`).
+pub const fn dec4(a: &[u64; 4]) -> [u64; 4] {
+    let (r0, br) = sbb(a[0], 1, 0);
+    let (r1, br) = sbb(a[1], 0, br);
+    let (r2, br) = sbb(a[2], 0, br);
+    let (r3, _) = sbb(a[3], 0, br);
+    [r0, r1, r2, r3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        let (r, br) = sbb(0, 1, 0);
+        assert_eq!(r, u64::MAX);
+        assert_eq!(br, u64::MAX);
+        let (r, br) = sbb(5, 2, 0);
+        assert_eq!((r, br), (3, 0));
+        // chained borrow
+        let (r, br) = sbb(0, 0, u64::MAX);
+        assert_eq!(r, u64::MAX);
+        assert_eq!(br, u64::MAX);
+    }
+
+    #[test]
+    fn mac_works() {
+        let (lo, hi) = mac(1, u64::MAX, u64::MAX, 1);
+        // u64::MAX^2 = 2^128 - 2^65 + 1; + 2 => low = 3? compute directly
+        let t = 1u128 + (u64::MAX as u128) * (u64::MAX as u128) + 1;
+        assert_eq!(lo, t as u64);
+        assert_eq!(hi, (t >> 64) as u64);
+    }
+
+    #[test]
+    fn mont_inv_is_neg_inverse() {
+        for p0 in [0x992d30ed00000001u64, 0x8c46eb2100000001u64, 0xffffffff00000001] {
+            let inv = mont_inv(p0);
+            assert_eq!(p0.wrapping_mul(inv), 1u64.wrapping_neg());
+        }
+    }
+
+    #[test]
+    fn geq_ordering() {
+        assert!(geq(&[1, 0, 0, 0], &[1, 0, 0, 0]));
+        assert!(geq(&[0, 0, 0, 1], &[u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(!geq(&[5, 0, 0, 0], &[6, 0, 0, 0]));
+    }
+
+    #[test]
+    fn shr_and_dec() {
+        let a = [0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 0, 1];
+        let s = shr4(&a, 4);
+        assert_eq!(s[0], (a[0] >> 4) | (a[1] << 60));
+        assert_eq!(s[3], a[3] >> 4);
+        assert_eq!(dec4(&[0, 0, 0, 1]), [u64::MAX, u64::MAX, u64::MAX, 0]);
+    }
+}

@@ -1,0 +1,419 @@
+//! Macro generating a Montgomery-form prime field from its modulus.
+//!
+//! The Montgomery constants (`R`, `R²`, `R³`, `-p⁻¹ mod 2⁶⁴`) and the
+//! Tonelli–Shanks exponents are all derived from the modulus by `const fn`s
+//! in [`crate::arith64`], so a field is fully specified by its modulus limbs,
+//! its multiplicative generator and its 2-adicity.
+
+/// Generate a prime-field type.
+///
+/// `$name`: type name; `$modulus`: little-endian limbs; `$generator`: small
+/// multiplicative generator of `F*`; `$two_adicity`: largest `s` with
+/// `2^s | p-1`.
+#[macro_export]
+macro_rules! impl_prime_field {
+    ($name:ident, $modulus:expr, $generator:expr, $two_adicity:expr, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// Values are stored in Montgomery form (`x·R mod p`, `R = 2²⁵⁶`) and
+        /// kept reduced, so limb-wise equality is field equality.
+        #[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+        pub struct $name(pub(crate) [u64; 4]);
+
+        impl $name {
+            /// The field modulus, little-endian limbs.
+            pub const MODULUS: [u64; 4] = $modulus;
+            const INV: u64 = $crate::arith64::mont_inv(Self::MODULUS[0]);
+            /// `R = 2^256 mod p` (the Montgomery radix).
+            pub const R: [u64; 4] = $crate::arith64::pow2_mod(256, &Self::MODULUS);
+            /// `R^2 mod p`, used to convert into Montgomery form.
+            pub const R2: [u64; 4] = $crate::arith64::pow2_mod(512, &Self::MODULUS);
+            /// `R^3 mod p`, used for wide reduction.
+            pub const R3: [u64; 4] = $crate::arith64::pow2_mod(768, &Self::MODULUS);
+            /// Odd part `t` of `p - 1 = 2^s · t`.
+            pub const T: [u64; 4] = $crate::arith64::shr4(
+                &$crate::arith64::dec4(&Self::MODULUS),
+                $two_adicity,
+            );
+            /// `(t - 1) / 2`.
+            pub const T_MINUS_1_OVER_2: [u64; 4] =
+                $crate::arith64::shr4(&$crate::arith64::dec4(&Self::T), 1);
+            /// `(p - 1) / 2`, the Euler criterion exponent.
+            pub const P_MINUS_1_OVER_2: [u64; 4] =
+                $crate::arith64::shr4(&$crate::arith64::dec4(&Self::MODULUS), 1);
+            /// `p - 2`, the inversion exponent.
+            pub const P_MINUS_2: [u64; 4] = $crate::arith64::dec4(
+                &$crate::arith64::dec4(&Self::MODULUS),
+            );
+
+            /// The additive identity.
+            pub const ZERO: Self = Self([0, 0, 0, 0]);
+            /// The multiplicative identity (Montgomery form of 1).
+            pub const ONE: Self = Self(Self::R);
+
+            /// Construct from canonical (non-Montgomery) limbs, reducing.
+            #[inline]
+            pub const fn from_raw(v: [u64; 4]) -> Self {
+                Self(Self::mont_mul(&v, &Self::R2))
+            }
+
+            /// Full 4x4-limb product followed by Montgomery reduction.
+            #[inline(always)]
+            const fn mont_mul(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+                use $crate::arith64::mac;
+                let (r0, carry) = mac(0, a[0], b[0], 0);
+                let (r1, carry) = mac(0, a[0], b[1], carry);
+                let (r2, carry) = mac(0, a[0], b[2], carry);
+                let (r3, r4) = mac(0, a[0], b[3], carry);
+
+                let (r1, carry) = mac(r1, a[1], b[0], 0);
+                let (r2, carry) = mac(r2, a[1], b[1], carry);
+                let (r3, carry) = mac(r3, a[1], b[2], carry);
+                let (r4, r5) = mac(r4, a[1], b[3], carry);
+
+                let (r2, carry) = mac(r2, a[2], b[0], 0);
+                let (r3, carry) = mac(r3, a[2], b[1], carry);
+                let (r4, carry) = mac(r4, a[2], b[2], carry);
+                let (r5, r6) = mac(r5, a[2], b[3], carry);
+
+                let (r3, carry) = mac(r3, a[3], b[0], 0);
+                let (r4, carry) = mac(r4, a[3], b[1], carry);
+                let (r5, carry) = mac(r5, a[3], b[2], carry);
+                let (r6, r7) = mac(r6, a[3], b[3], carry);
+
+                Self::mont_reduce([r0, r1, r2, r3, r4, r5, r6, r7])
+            }
+
+            /// Montgomery reduction of a 512-bit value.
+            #[inline(always)]
+            const fn mont_reduce(r: [u64; 8]) -> [u64; 4] {
+                use $crate::arith64::{adc, mac, sbb};
+                let m = Self::MODULUS;
+
+                let k = r[0].wrapping_mul(Self::INV);
+                let (_, carry) = mac(r[0], k, m[0], 0);
+                let (r1, carry) = mac(r[1], k, m[1], carry);
+                let (r2, carry) = mac(r[2], k, m[2], carry);
+                let (r3, carry) = mac(r[3], k, m[3], carry);
+                let (r4, carry2) = adc(r[4], 0, carry);
+
+                let k = r1.wrapping_mul(Self::INV);
+                let (_, carry) = mac(r1, k, m[0], 0);
+                let (r2, carry) = mac(r2, k, m[1], carry);
+                let (r3, carry) = mac(r3, k, m[2], carry);
+                let (r4, carry) = mac(r4, k, m[3], carry);
+                let (r5, carry2) = adc(r[5], carry2, carry);
+
+                let k = r2.wrapping_mul(Self::INV);
+                let (_, carry) = mac(r2, k, m[0], 0);
+                let (r3, carry) = mac(r3, k, m[1], carry);
+                let (r4, carry) = mac(r4, k, m[2], carry);
+                let (r5, carry) = mac(r5, k, m[3], carry);
+                let (r6, carry2) = adc(r[6], carry2, carry);
+
+                let k = r3.wrapping_mul(Self::INV);
+                let (_, carry) = mac(r3, k, m[0], 0);
+                let (r4, carry) = mac(r4, k, m[1], carry);
+                let (r5, carry) = mac(r5, k, m[2], carry);
+                let (r6, carry) = mac(r6, k, m[3], carry);
+                let (r7, _) = adc(r[7], carry2, carry);
+
+                // Conditional subtraction into canonical range.
+                let (d0, borrow) = sbb(r4, m[0], 0);
+                let (d1, borrow) = sbb(r5, m[1], borrow);
+                let (d2, borrow) = sbb(r6, m[2], borrow);
+                let (d3, borrow) = sbb(r7, m[3], borrow);
+                if borrow == 0 {
+                    [d0, d1, d2, d3]
+                } else {
+                    [r4, r5, r6, r7]
+                }
+            }
+
+            #[inline(always)]
+            const fn add_limbs(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+                use $crate::arith64::{adc, sbb};
+                let (r0, c) = adc(a[0], b[0], 0);
+                let (r1, c) = adc(a[1], b[1], c);
+                let (r2, c) = adc(a[2], b[2], c);
+                let (r3, _) = adc(a[3], b[3], c);
+                // a, b < p < 2^255 so no 256-bit overflow; reduce once.
+                let m = Self::MODULUS;
+                let (d0, borrow) = sbb(r0, m[0], 0);
+                let (d1, borrow) = sbb(r1, m[1], borrow);
+                let (d2, borrow) = sbb(r2, m[2], borrow);
+                let (d3, borrow) = sbb(r3, m[3], borrow);
+                if borrow == 0 {
+                    [d0, d1, d2, d3]
+                } else {
+                    [r0, r1, r2, r3]
+                }
+            }
+
+            #[inline(always)]
+            const fn sub_limbs(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+                use $crate::arith64::{adc, sbb};
+                let (r0, borrow) = sbb(a[0], b[0], 0);
+                let (r1, borrow) = sbb(a[1], b[1], borrow);
+                let (r2, borrow) = sbb(a[2], b[2], borrow);
+                let (r3, borrow) = sbb(a[3], b[3], borrow);
+                if borrow == 0 {
+                    [r0, r1, r2, r3]
+                } else {
+                    let m = Self::MODULUS;
+                    let (r0, c) = adc(r0, m[0], 0);
+                    let (r1, c) = adc(r1, m[1], c);
+                    let (r2, c) = adc(r2, m[2], c);
+                    let (r3, _) = adc(r3, m[3], c);
+                    [r0, r1, r2, r3]
+                }
+            }
+
+            /// Canonical limbs (out of Montgomery form).
+            #[inline]
+            pub const fn to_canonical_limbs(&self) -> [u64; 4] {
+                Self::mont_reduce([
+                    self.0[0], self.0[1], self.0[2], self.0[3], 0, 0, 0, 0,
+                ])
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                let limbs = self.to_canonical_limbs();
+                write!(
+                    f,
+                    "0x{:016x}{:016x}{:016x}{:016x}",
+                    limbs[3], limbs[2], limbs[1], limbs[0]
+                )
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(Self::add_limbs(&self.0, &rhs.0))
+            }
+        }
+        impl<'a> core::ops::Add<&'a $name> for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: &'a Self) -> Self {
+                Self(Self::add_limbs(&self.0, &rhs.0))
+            }
+        }
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(Self::sub_limbs(&self.0, &rhs.0))
+            }
+        }
+        impl<'a> core::ops::Sub<&'a $name> for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: &'a Self) -> Self {
+                Self(Self::sub_limbs(&self.0, &rhs.0))
+            }
+        }
+        impl core::ops::Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                Self(Self::mont_mul(&self.0, &rhs.0))
+            }
+        }
+        impl<'a> core::ops::Mul<&'a $name> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: &'a Self) -> Self {
+                Self(Self::mont_mul(&self.0, &rhs.0))
+            }
+        }
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(Self::sub_limbs(&[0, 0, 0, 0], &self.0))
+            }
+        }
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+        impl core::ops::MulAssign for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + b)
+            }
+        }
+        impl core::iter::Product for $name {
+            fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ONE, |a, b| a * b)
+            }
+        }
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self::from_raw([v, 0, 0, 0])
+            }
+        }
+
+        impl $crate::PrimeField for $name {
+            const ZERO: Self = Self::ZERO;
+            const ONE: Self = Self::ONE;
+            const TWO_ADICITY: u32 = $two_adicity;
+            const MODULUS: [u64; 4] = Self::MODULUS;
+            const NUM_BITS: u32 = 255;
+
+            fn multiplicative_generator() -> Self {
+                Self::from_raw([$generator, 0, 0, 0])
+            }
+
+            fn root_of_unity() -> Self {
+                // g^t has exact order 2^s because g generates F*.
+                Self::multiplicative_generator().pow(&Self::T)
+            }
+
+            fn random(rng: &mut impl rand::Rng) -> Self {
+                let mut wide = [0u8; 64];
+                rng.fill_bytes(&mut wide);
+                <Self as $crate::PrimeField>::from_bytes_wide(&wide)
+            }
+
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                Self::from_raw([v, 0, 0, 0])
+            }
+
+            #[inline]
+            fn from_u128(v: u128) -> Self {
+                Self::from_raw([v as u64, (v >> 64) as u64, 0, 0])
+            }
+
+            fn to_repr(&self) -> [u8; 32] {
+                let limbs = self.to_canonical_limbs();
+                let mut out = [0u8; 32];
+                for (i, l) in limbs.iter().enumerate() {
+                    out[i * 8..(i + 1) * 8].copy_from_slice(&l.to_le_bytes());
+                }
+                out
+            }
+
+            fn from_repr(bytes: &[u8; 32]) -> Option<Self> {
+                let mut limbs = [0u64; 4];
+                for (i, l) in limbs.iter_mut().enumerate() {
+                    *l = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+                }
+                if $crate::arith64::geq(&limbs, &Self::MODULUS) {
+                    None
+                } else {
+                    Some(Self::from_raw(limbs))
+                }
+            }
+
+            fn from_bytes_wide(bytes: &[u8; 64]) -> Self {
+                let mut lo = [0u64; 4];
+                let mut hi = [0u64; 4];
+                for i in 0..4 {
+                    lo[i] = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+                    hi[i] =
+                        u64::from_le_bytes(bytes[32 + i * 8..32 + (i + 1) * 8].try_into().unwrap());
+                }
+                // value = lo + hi·2^256  =>  mont(lo·R2) + mont(hi·R3) gives
+                // (lo + hi·2^256)·R mod p.
+                Self(Self::mont_mul(&lo, &Self::R2))
+                    + Self(Self::mont_mul(&hi, &Self::R3))
+            }
+
+            #[inline]
+            fn square(&self) -> Self {
+                Self(Self::mont_mul(&self.0, &self.0))
+            }
+
+            #[inline]
+            fn double(&self) -> Self {
+                *self + *self
+            }
+
+            fn pow(&self, exp: &[u64; 4]) -> Self {
+                let mut res = Self::ONE;
+                for limb in exp.iter().rev() {
+                    for i in (0..64).rev() {
+                        res = res.square();
+                        if (limb >> i) & 1 == 1 {
+                            res *= *self;
+                        }
+                    }
+                }
+                res
+            }
+
+            fn invert(&self) -> Option<Self> {
+                if self.is_zero() {
+                    None
+                } else {
+                    Some(self.pow(&Self::P_MINUS_2))
+                }
+            }
+
+            fn sqrt(&self) -> Option<Self> {
+                if self.is_zero() {
+                    return Some(Self::ZERO);
+                }
+                // Tonelli–Shanks for p - 1 = 2^s * t.
+                let w = self.pow(&Self::T_MINUS_1_OVER_2);
+                let mut v = Self::TWO_ADICITY;
+                let mut x = *self * w; // self^{(t+1)/2}
+                let mut b = x * w; // self^t
+                let mut z = Self::root_of_unity();
+                while b != Self::ONE {
+                    // least k with b^{2^k} = 1
+                    let mut k = 0u32;
+                    let mut b2k = b;
+                    while b2k != Self::ONE {
+                        b2k = b2k.square();
+                        k += 1;
+                        if k > v {
+                            return None;
+                        }
+                    }
+                    if k == v {
+                        return None;
+                    }
+                    let mut wz = z;
+                    for _ in 0..(v - k - 1) {
+                        wz = wz.square();
+                    }
+                    z = wz.square();
+                    b *= z;
+                    x *= wz;
+                    v = k;
+                }
+                if x.square() == *self {
+                    Some(x)
+                } else {
+                    None
+                }
+            }
+
+            #[inline]
+            fn to_canonical(&self) -> [u64; 4] {
+                self.to_canonical_limbs()
+            }
+        }
+    };
+}

@@ -1,0 +1,216 @@
+//! # poneglyph-arith
+//!
+//! 254-bit prime-field arithmetic for PoneglyphDB: the two **Pasta** fields
+//! used by Halo2-style proving systems, implemented from scratch on 4×u64
+//! Montgomery limbs.
+//!
+//! * [`Fp`] — the Pallas *base* field (Vesta scalar field).
+//! * [`Fq`] — the Pallas *scalar* field (Vesta base field). PoneglyphDB
+//!   circuits are arithmetized over `Fq`; commitments live on the Pallas
+//!   curve whose coordinates are `Fp` values.
+//!
+//! Both fields have 2-adicity 32, which supports radix-2 FFTs over
+//! evaluation domains of up to 2³² rows — far beyond any circuit in the
+//! paper (Table 2 tops out at 2¹⁸ rows).
+//!
+//! ```
+//! use poneglyph_arith::{Fq, PrimeField};
+//! let a = Fq::from_u64(7);
+//! let b = a.invert().unwrap();
+//! assert_eq!(a * b, Fq::ONE);
+//! ```
+
+pub mod arith64;
+mod field;
+mod traits;
+
+pub use traits::PrimeField;
+
+impl_prime_field!(
+    Fp,
+    [
+        0x992d_30ed_0000_0001,
+        0x2246_98fc_094c_f91b,
+        0x0000_0000_0000_0000,
+        0x4000_0000_0000_0000
+    ],
+    5,
+    32,
+    "The Pallas base field: `p = 2^254 + 45560315531419706090280762371685220353`."
+);
+
+impl_prime_field!(
+    Fq,
+    [
+        0x8c46_eb21_0000_0001,
+        0x2246_98fc_0994_a8dd,
+        0x0000_0000_0000_0000,
+        0x4000_0000_0000_0000
+    ],
+    5,
+    32,
+    "The Pallas scalar field: `q = 2^254 + 45560315531506369815346746415080538113`."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xdead_beef)
+    }
+
+    macro_rules! field_tests {
+        ($mod_name:ident, $f:ident) => {
+            mod $mod_name {
+                use super::*;
+
+                #[test]
+                fn constants_consistent() {
+                    // R = mont form of 1
+                    assert_eq!($f::ONE.to_canonical(), [1, 0, 0, 0]);
+                    // INV * p ≡ -1 mod 2^64
+                    assert_eq!(
+                        $f::MODULUS[0].wrapping_mul(crate::arith64::mont_inv($f::MODULUS[0])),
+                        1u64.wrapping_neg()
+                    );
+                    // p - 1 = 2^32 * T with T odd
+                    assert_eq!($f::T[0] & 1, 1);
+                }
+
+                #[test]
+                fn add_sub_mul_basics() {
+                    let a = $f::from_u64(123456789);
+                    let b = $f::from_u64(987654321);
+                    assert_eq!(a + b, $f::from_u64(123456789 + 987654321));
+                    assert_eq!(b - a, $f::from_u64(987654321 - 123456789));
+                    assert_eq!(
+                        a * b,
+                        $f::from_u128(123456789u128 * 987654321u128)
+                    );
+                    assert_eq!(a - b, -(b - a));
+                    assert_eq!(a + $f::ZERO, a);
+                    assert_eq!(a * $f::ONE, a);
+                    assert_eq!(a * $f::ZERO, $f::ZERO);
+                }
+
+                #[test]
+                fn subtraction_wraps() {
+                    let a = $f::from_u64(1);
+                    let b = $f::from_u64(2);
+                    assert_eq!((a - b) + b, a);
+                }
+
+                #[test]
+                fn inversion() {
+                    let mut r = rng();
+                    for _ in 0..20 {
+                        let a = $f::random(&mut r);
+                        if a.is_zero() {
+                            continue;
+                        }
+                        assert_eq!(a * a.invert().unwrap(), $f::ONE);
+                    }
+                    assert!($f::ZERO.invert().is_none());
+                }
+
+                #[test]
+                fn batch_inversion_matches_single() {
+                    let mut r = rng();
+                    let mut vals: Vec<$f> =
+                        (0..33).map(|_| $f::random(&mut r)).collect();
+                    vals[7] = $f::ZERO;
+                    vals[20] = $f::ZERO;
+                    let expected: Vec<$f> = vals
+                        .iter()
+                        .map(|v| v.invert().unwrap_or($f::ZERO))
+                        .collect();
+                    let n = $f::batch_invert(&mut vals);
+                    assert_eq!(n, 31);
+                    assert_eq!(vals, expected);
+                }
+
+                #[test]
+                fn sqrt_of_squares() {
+                    let mut r = rng();
+                    for _ in 0..20 {
+                        let a = $f::random(&mut r);
+                        let sq = a.square();
+                        let s = sq.sqrt().expect("square must have a root");
+                        assert!(s == a || s == -a);
+                    }
+                }
+
+                #[test]
+                fn generator_is_nonresidue() {
+                    // Euler criterion: g^{(p-1)/2} == -1 for a generator.
+                    let g = $f::multiplicative_generator();
+                    assert_eq!(g.pow(&$f::P_MINUS_1_OVER_2), -$f::ONE);
+                    assert!(g.sqrt().is_none());
+                }
+
+                #[test]
+                fn root_of_unity_has_exact_order() {
+                    let w = $f::root_of_unity();
+                    let mut x = w;
+                    // x = w^{2^31} should be -1, and squaring once more gives 1.
+                    for _ in 0..($f::TWO_ADICITY - 1) {
+                        x = x.square();
+                    }
+                    assert_eq!(x, -$f::ONE);
+                    assert_eq!(x.square(), $f::ONE);
+                }
+
+                #[test]
+                fn repr_roundtrip() {
+                    let mut r = rng();
+                    for _ in 0..20 {
+                        let a = $f::random(&mut r);
+                        assert_eq!($f::from_repr(&a.to_repr()), Some(a));
+                    }
+                    // modulus itself must be rejected
+                    let mut m = [0u8; 32];
+                    for (i, l) in $f::MODULUS.iter().enumerate() {
+                        m[i * 8..(i + 1) * 8].copy_from_slice(&l.to_le_bytes());
+                    }
+                    assert!($f::from_repr(&m).is_none());
+                }
+
+                #[test]
+                fn from_i64_negatives() {
+                    let a = $f::from_i64(-5);
+                    assert_eq!(a + $f::from_u64(5), $f::ZERO);
+                }
+
+                #[test]
+                fn pow_matches_repeated_mul() {
+                    let a = $f::from_u64(3);
+                    let mut expect = $f::ONE;
+                    for _ in 0..13 {
+                        expect *= a;
+                    }
+                    assert_eq!(a.pow(&[13, 0, 0, 0]), expect);
+                }
+
+                #[test]
+                fn wide_reduction_is_uniformish() {
+                    // 2^256 mod p equals from_bytes_wide of [0;32] || [1,0,..].
+                    let mut bytes = [0u8; 64];
+                    bytes[32] = 1;
+                    let v = $f::from_bytes_wide(&bytes);
+                    let expect = $f::from_u64(2).pow(&[256, 0, 0, 0]);
+                    assert_eq!(v, expect);
+                }
+            }
+        };
+    }
+
+    field_tests!(fp_tests, Fp);
+    field_tests!(fq_tests, Fq);
+
+    #[test]
+    fn fields_are_distinct() {
+        assert_ne!(Fp::MODULUS, Fq::MODULUS);
+    }
+}

@@ -1,0 +1,143 @@
+//! The `PrimeField` abstraction used throughout the proving stack.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+
+/// A prime field with high 2-adicity, suitable for FFT-based proving.
+///
+/// Elements are `Copy` 32-byte values; all operations are total. The trait is
+/// deliberately small: it is exactly what the polynomial, commitment and
+/// PLONKish layers need.
+pub trait PrimeField:
+    Sized
+    + Copy
+    + Clone
+    + Debug
+    + Default
+    + Eq
+    + PartialEq
+    + Hash
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Product
+    + for<'a> Add<&'a Self, Output = Self>
+    + for<'a> Sub<&'a Self, Output = Self>
+    + for<'a> Mul<&'a Self, Output = Self>
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Largest `s` such that `2^s` divides `modulus - 1`.
+    const TWO_ADICITY: u32;
+    /// The modulus as little-endian limbs.
+    const MODULUS: [u64; 4];
+    /// Number of bits needed to represent the modulus.
+    const NUM_BITS: u32;
+
+    /// A fixed multiplicative generator of the full group `F*`.
+    fn multiplicative_generator() -> Self;
+
+    /// A fixed element of exact order `2^TWO_ADICITY`.
+    fn root_of_unity() -> Self;
+
+    /// Uniformly random element.
+    fn random(rng: &mut impl Rng) -> Self;
+
+    /// Lift a `u64`.
+    fn from_u64(v: u64) -> Self;
+
+    /// Lift a `u128`.
+    fn from_u128(v: u128) -> Self;
+
+    /// Lift an `i64` (negative values map to `p - |v|`).
+    fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Self::from_u64(v as u64)
+        } else {
+            -Self::from_u64(v.unsigned_abs())
+        }
+    }
+
+    /// Canonical little-endian byte encoding (always reduced).
+    fn to_repr(&self) -> [u8; 32];
+
+    /// Parse a canonical encoding; `None` when `>= modulus`.
+    fn from_repr(bytes: &[u8; 32]) -> Option<Self>;
+
+    /// Map 64 uniform bytes to a (statistically) uniform field element.
+    fn from_bytes_wide(bytes: &[u8; 64]) -> Self;
+
+    /// `self^2`.
+    fn square(&self) -> Self;
+
+    /// `2 * self`.
+    fn double(&self) -> Self;
+
+    /// Exponentiation by a little-endian limb exponent (variable time).
+    fn pow(&self, exp: &[u64; 4]) -> Self;
+
+    /// Multiplicative inverse; `None` for zero.
+    fn invert(&self) -> Option<Self>;
+
+    /// Square root via Tonelli–Shanks; `None` for non-residues.
+    fn sqrt(&self) -> Option<Self>;
+
+    /// `true` iff this is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+
+    /// The canonical value as limbs (little-endian, reduced).
+    fn to_canonical(&self) -> [u64; 4];
+
+    /// Returns the low 64 bits of the canonical value, or `None` if the
+    /// value does not fit in a `u64`.
+    fn to_u64(&self) -> Option<u64> {
+        let l = self.to_canonical();
+        if l[1] == 0 && l[2] == 0 && l[3] == 0 {
+            Some(l[0])
+        } else {
+            None
+        }
+    }
+
+    /// Batch inversion via the Montgomery trick. Zero entries are left as
+    /// zero. Returns the number of nonzero entries inverted.
+    fn batch_invert(values: &mut [Self]) -> usize {
+        let mut prod = Vec::with_capacity(values.len());
+        let mut acc = Self::ONE;
+        for v in values.iter() {
+            prod.push(acc);
+            if !v.is_zero() {
+                acc *= *v;
+            }
+        }
+        let mut inv = match acc.invert() {
+            Some(i) => i,
+            None => return 0, // only possible when all entries are zero
+        };
+        let mut count = 0;
+        for (v, p) in values.iter_mut().zip(prod.into_iter()).rev() {
+            if !v.is_zero() {
+                let tmp = inv * *v;
+                *v = inv * p;
+                inv = tmp;
+                count += 1;
+            }
+        }
+        count
+    }
+}

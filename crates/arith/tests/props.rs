@@ -1,0 +1,89 @@
+//! Property-based tests: field axioms must hold for arbitrary elements.
+
+use poneglyph_arith::{Fp, Fq, PrimeField};
+use proptest::prelude::*;
+
+fn arb_fq() -> impl Strategy<Value = Fq> {
+    any::<[u8; 64]>().prop_map(|b| Fq::from_bytes_wide(&b))
+}
+
+fn arb_fp() -> impl Strategy<Value = Fp> {
+    any::<[u8; 64]>().prop_map(|b| Fp::from_bytes_wide(&b))
+}
+
+macro_rules! axioms {
+    ($name:ident, $f:ty, $arb:ident) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn add_commutes(a in $arb(), b in $arb()) {
+                    prop_assert_eq!(a + b, b + a);
+                }
+
+                #[test]
+                fn add_associates(a in $arb(), b in $arb(), c in $arb()) {
+                    prop_assert_eq!((a + b) + c, a + (b + c));
+                }
+
+                #[test]
+                fn mul_commutes(a in $arb(), b in $arb()) {
+                    prop_assert_eq!(a * b, b * a);
+                }
+
+                #[test]
+                fn mul_associates(a in $arb(), b in $arb(), c in $arb()) {
+                    prop_assert_eq!((a * b) * c, a * (b * c));
+                }
+
+                #[test]
+                fn distributes(a in $arb(), b in $arb(), c in $arb()) {
+                    prop_assert_eq!(a * (b + c), a * b + a * c);
+                }
+
+                #[test]
+                fn sub_is_add_neg(a in $arb(), b in $arb()) {
+                    prop_assert_eq!(a - b, a + (-b));
+                }
+
+                #[test]
+                fn double_and_square(a in $arb()) {
+                    prop_assert_eq!(a.double(), a + a);
+                    prop_assert_eq!(a.square(), a * a);
+                }
+
+                #[test]
+                fn inverse_cancels(a in $arb()) {
+                    if let Some(inv) = a.invert() {
+                        prop_assert_eq!(a * inv, <$f>::ONE);
+                    } else {
+                        prop_assert_eq!(a, <$f>::ZERO);
+                    }
+                }
+
+                #[test]
+                fn repr_roundtrips(a in $arb()) {
+                    prop_assert_eq!(<$f>::from_repr(&a.to_repr()), Some(a));
+                }
+
+                #[test]
+                fn sqrt_squares_back(a in $arb()) {
+                    let sq = a.square();
+                    let r = sq.sqrt().expect("squares are residues");
+                    prop_assert!(r == a || r == -a);
+                }
+
+                #[test]
+                fn pow_add_exponents(a in $arb(), x in 0u64..1000, y in 0u64..1000) {
+                    let lhs = a.pow(&[x, 0, 0, 0]) * a.pow(&[y, 0, 0, 0]);
+                    let rhs = a.pow(&[x + y, 0, 0, 0]);
+                    prop_assert_eq!(lhs, rhs);
+                }
+            }
+        }
+    };
+}
+
+axioms!(fq_axioms, Fq, arb_fq);
+axioms!(fp_axioms, Fp, arb_fp);

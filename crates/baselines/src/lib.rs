@@ -1,0 +1,13 @@
+//! # poneglyph-baselines
+//!
+//! The two comparison systems of the paper's evaluation:
+//!
+//! * [`zksql`] — an interactive, per-operator proving baseline with
+//!   boolean (bitwise) range encodings, modelling ZKSQL (§5.3, Figure 7).
+//! * [`libra`] + [`sqlcirc`] — a GKR/sumcheck prover over layered 2-input
+//!   arithmetic circuits with full 64-bit binary comparisons, modelling
+//!   Libra (§5.4, Table 4).
+
+pub mod libra;
+pub mod sqlcirc;
+pub mod zksql;

@@ -1,0 +1,28 @@
+//! Figure 10 (micro): proving-cost scaling with row count on a minimal
+//! plan. `repro fig10` runs the six queries at three database scales.
+use criterion::{criterion_group, criterion_main, Criterion};
+use poneglyph_bench::rng;
+use poneglyph_core::prove_query;
+use poneglyph_pcs::IpaParams;
+use poneglyph_sql::{CmpOp, Plan, Predicate};
+use poneglyph_tpch::generate;
+
+fn bench(c: &mut Criterion) {
+    let params = IpaParams::setup(11);
+    let plan = Plan::Filter {
+        input: Box::new(Plan::Scan { table: "lineitem".into() }),
+        predicates: vec![Predicate::ColConst { col: 4, op: CmpOp::Lt, value: 24 }],
+    };
+    let mut g = c.benchmark_group("fig10_scaling");
+    g.sample_size(10);
+    for rows in [16usize, 32] {
+        let db = generate(rows);
+        g.bench_function(format!("filter_{rows}_rows"), |b| {
+            b.iter(|| prove_query(&params, &db, &plan, &mut rng()).expect("prove"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 7 (micro): proof generation, PoneglyphDB vs the ZKSQL baseline,
+//! on a minimal filter+aggregate plan. `repro fig7` runs the full six-query
+//! comparison at TPC-H scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use poneglyph_baselines::zksql;
+use poneglyph_bench::rng;
+use poneglyph_core::prove_query;
+use poneglyph_pcs::IpaParams;
+use poneglyph_sql::{AggFunc, Aggregate, CmpOp, Plan, Predicate, ScalarExpr};
+use poneglyph_tpch::generate;
+
+fn micro_plan() -> Plan {
+    Plan::Aggregate {
+        input: Box::new(Plan::Filter {
+            input: Box::new(Plan::Scan { table: "lineitem".into() }),
+            predicates: vec![Predicate::ColConst { col: 4, op: CmpOp::Lt, value: 24 }],
+        }),
+        group_by: vec![8],
+        aggs: vec![("s".into(), Aggregate { func: AggFunc::Sum, input: ScalarExpr::Col(4) })],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let db = generate(16);
+    let params = IpaParams::setup(10);
+    let plan = micro_plan();
+    let mut g = c.benchmark_group("fig7_queries");
+    g.sample_size(10);
+    g.bench_function("poneglyph_filter_agg", |b| {
+        b.iter(|| prove_query(&params, &db, &plan, &mut rng()).expect("prove"))
+    });
+    g.bench_function("zksql_filter_agg", |b| {
+        b.iter(|| zksql::prove_interactive(&params, &db, &plan, &mut rng()).expect("zksql"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 2: public-parameter generation time vs maximal circuit rows.
+use criterion::{criterion_group, criterion_main, Criterion};
+use poneglyph_pcs::IpaParams;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_params");
+    g.sample_size(10);
+    for k in [8u32, 9, 10] {
+        g.bench_function(format!("setup_2^{k}"), |b| {
+            b.iter(|| IpaParams::setup(k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 3: database commitment time over increasing data sizes.
+use criterion::{criterion_group, criterion_main, Criterion};
+use poneglyph_core::DatabaseCommitment;
+use poneglyph_pcs::IpaParams;
+use poneglyph_tpch::generate;
+
+fn bench(c: &mut Criterion) {
+    let params = IpaParams::setup(10);
+    let mut g = c.benchmark_group("table3_commitment");
+    g.sample_size(10);
+    for rows in [60usize, 120, 240] {
+        let db = generate(rows);
+        g.bench_function(format!("commit_{rows}_rows"), |b| {
+            b.iter(|| DatabaseCommitment::commit(&params, &db))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 4 (micro): the Libra GKR prover on a 64-bit bitwise comparison
+//! circuit vs a PoneglyphDB lookup-based range check of the same data.
+//! `repro table4` runs the Q1/Q3/Q5 comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use poneglyph_baselines::{libra, sqlcirc};
+use poneglyph_tpch::generate;
+
+fn bench(c: &mut Criterion) {
+    let db = generate(64);
+    let li = db.table("lineitem").expect("lineitem");
+    let col: Vec<u64> = li.cols[4][..32].iter().map(|v| *v as u64).collect();
+    let (circuit, inputs) = sqlcirc::filter_count_circuit(&[col], &[24], 64);
+    let mut g = c.benchmark_group("table4_libra");
+    g.sample_size(10);
+    g.bench_function("libra_prove_32rows_64bit", |b| {
+        b.iter(|| libra::prove(&circuit, &inputs))
+    });
+    let proof = libra::prove(&circuit, &inputs);
+    g.bench_function("libra_verify", |b| {
+        b.iter(|| assert!(libra::verify(&circuit, &inputs, &proof)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

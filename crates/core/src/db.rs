@@ -1,0 +1,274 @@
+//! The PoneglyphDB system API: database commitments (workflow step 2),
+//! query proving (steps 3–4) and verification (step 5) — Figure 2 of the
+//! paper.
+
+use crate::compiler::{compile, CompiledQuery, GateSet};
+use crate::encode::{decode, encode_fq};
+use poneglyph_arith::{Fq, PrimeField};
+use poneglyph_curve::PallasAffine;
+use poneglyph_hash::Blake2b;
+use poneglyph_pcs::IpaParams;
+use poneglyph_plonkish::{keygen, mock_prove, prove, verify, Proof, ProvingKey};
+use poneglyph_sql::{execute, Database, Plan, Table};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A binding cryptographic commitment to a database state (paper §3.3):
+/// one Pedersen vector commitment per column, plus a digest that is what
+/// gets published to the immutable registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatabaseCommitment {
+    /// Per table, per column commitments.
+    pub columns: BTreeMap<String, Vec<PallasAffine>>,
+    /// Row count per table (public).
+    pub sizes: BTreeMap<String, usize>,
+}
+
+impl DatabaseCommitment {
+    /// Commit to every column of every table (the cost reported in the
+    /// paper's Table 3).
+    pub fn commit(params: &IpaParams, db: &Database) -> Self {
+        let mut columns = BTreeMap::new();
+        let mut sizes = BTreeMap::new();
+        for (name, table) in &db.tables {
+            let mut comms = Vec::with_capacity(table.cols.len());
+            for col in &table.cols {
+                // Commit in chunks of the parameter capacity.
+                let mut acc = poneglyph_curve::Pallas::identity();
+                for chunk in col.chunks(params.n) {
+                    let encoded: Vec<Fq> = chunk.iter().map(|v| encode_fq(*v)).collect();
+                    acc = acc.add(&params.commit(&encoded, Fq::ZERO));
+                }
+                comms.push(acc.to_affine());
+            }
+            columns.insert(name.clone(), comms);
+            sizes.insert(name.clone(), table.len());
+        }
+        Self { columns, sizes }
+    }
+
+    /// The 64-byte digest published to the registry.
+    pub fn digest(&self) -> [u8; 64] {
+        let mut h = Blake2b::new();
+        for (name, comms) in &self.columns {
+            h.update(name.as_bytes());
+            for c in comms {
+                h.update(&c.to_bytes());
+            }
+        }
+        for (name, size) in &self.sizes {
+            h.update(name.as_bytes());
+            h.update(&(*size as u64).to_le_bytes());
+        }
+        h.finalize()
+    }
+}
+
+/// An append-only, content-addressed bulletin board standing in for the
+/// immutable public ledger (e.g. Ethereum) of §3.3: once published, a
+/// commitment digest cannot be replaced.
+#[derive(Default, Debug)]
+pub struct CommitmentRegistry {
+    entries: Vec<(String, [u8; 64])>,
+}
+
+impl CommitmentRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a digest under a label. Returns `Err` if the label is taken
+    /// with a different digest (immutability).
+    pub fn publish(&mut self, label: &str, digest: [u8; 64]) -> Result<(), String> {
+        if let Some((_, existing)) = self.entries.iter().find(|(l, _)| l == label) {
+            if *existing != digest {
+                return Err(format!("label '{label}' already bound to a different digest"));
+            }
+            return Ok(());
+        }
+        self.entries.push((label.to_string(), digest));
+        Ok(())
+    }
+
+    /// Look up a published digest.
+    pub fn lookup(&self, label: &str) -> Option<[u8; 64]> {
+        self.entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, d)| *d)
+    }
+}
+
+/// The prover's answer to a query: the result, the public instance the
+/// proof is bound to, and the proof itself.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The claimed query result.
+    pub result: Table,
+    /// The public instance (real bits + masked output columns).
+    pub instance: Vec<Vec<Fq>>,
+    /// The non-interactive proof.
+    pub proof: Proof,
+    /// log2 of the circuit size used.
+    pub k: u32,
+}
+
+impl QueryResponse {
+    /// Serialized proof size in bytes (Table 4 metric).
+    pub fn proof_size(&self) -> usize {
+        self.proof.size_in_bytes()
+    }
+}
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum DbError {
+    /// Planning/compilation failed.
+    Compile(String),
+    /// Execution failed.
+    Execute(String),
+    /// Constraints unsatisfied (circuit bug or bad witness).
+    Constraint(String),
+    /// Proving failed.
+    Prove(String),
+    /// Verification failed.
+    Verify(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Compile(e) => write!(f, "compile: {e}"),
+            DbError::Execute(e) => write!(f, "execute: {e}"),
+            DbError::Constraint(e) => write!(f, "constraint: {e}"),
+            DbError::Prove(e) => write!(f, "prove: {e}"),
+            DbError::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Compile and key a query against a concrete database (prover side).
+pub fn prover_setup(
+    params: &IpaParams,
+    db: &Database,
+    plan: &Plan,
+) -> Result<(CompiledQuery, ProvingKey, IpaParams), DbError> {
+    let trace = execute(db, plan).map_err(|e| DbError::Execute(e.to_string()))?;
+    let compiled = compile(db, plan, Some(&trace), GateSet::default())
+        .map_err(DbError::Compile)?;
+    let k = compiled.asn.k;
+    if k > params.k {
+        return Err(DbError::Compile(format!(
+            "circuit needs 2^{k} rows but parameters cap at 2^{}",
+            params.k
+        )));
+    }
+    let params_k = params.truncate(k);
+    let pk = keygen(&params_k, &compiled.cs, &compiled.asn);
+    Ok((compiled, pk, params_k))
+}
+
+/// Execute a query and produce a [`QueryResponse`] (the full prover path).
+pub fn prove_query(
+    params: &IpaParams,
+    db: &Database,
+    plan: &Plan,
+    rng: &mut impl Rng,
+) -> Result<QueryResponse, DbError> {
+    let trace = execute(db, plan).map_err(|e| DbError::Execute(e.to_string()))?;
+    let result = trace.output.clone();
+    let (compiled, pk, params_k) = prover_setup(params, db, plan)?;
+    let instance = compiled.instance.clone();
+    let proof = prove(&params_k, &pk, compiled.asn, rng)
+        .map_err(|e| DbError::Prove(e.to_string()))?;
+    Ok(QueryResponse {
+        result,
+        instance,
+        proof,
+        k: params_k.k,
+    })
+}
+
+/// Check a query circuit's constraints without proving (fast debugging).
+pub fn check_query(db: &Database, plan: &Plan) -> Result<(), DbError> {
+    let trace = execute(db, plan).map_err(|e| DbError::Execute(e.to_string()))?;
+    let compiled = compile(db, plan, Some(&trace), GateSet::default())
+        .map_err(DbError::Compile)?;
+    mock_prove(&compiled.cs, &compiled.asn).map_err(|errs| {
+        DbError::Constraint(
+            errs.iter()
+                .take(5)
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
+    })
+}
+
+/// A shape-only copy of a database (correct schemas and row counts, zeroed
+/// values) — everything the verifier needs to re-derive the circuit.
+pub fn database_shape(db: &Database) -> Database {
+    let mut shape = Database::new();
+    shape.dict = db.dict.clone();
+    for (name, t) in &db.tables {
+        let mut zt = Table::empty(t.schema.clone());
+        let zero = vec![0i64; t.schema.width()];
+        for _ in 0..t.len() {
+            zt.push_row(&zero);
+        }
+        shape.add_table(name, zt);
+    }
+    shape
+}
+
+/// Verify a [`QueryResponse`] (verifier side): re-derive the circuit
+/// structure from the plan + public table sizes, regenerate the verifying
+/// key, check the proof against the instance, and extract the result.
+pub fn verify_query(
+    params: &IpaParams,
+    shape: &Database,
+    plan: &Plan,
+    response: &QueryResponse,
+) -> Result<Table, DbError> {
+    let compiled = compile(shape, plan, None, GateSet::default()).map_err(DbError::Compile)?;
+    if compiled.asn.k != response.k {
+        return Err(DbError::Verify("circuit size mismatch".to_string()));
+    }
+    let params_k = params.truncate(response.k);
+    let pk = keygen(&params_k, &compiled.cs, &compiled.asn);
+    verify(&params_k, &pk.vk, &response.instance, &response.proof)
+        .map_err(|e| DbError::Verify(e.to_string()))?;
+
+    // Extract the result from the proven instance.
+    let lookup = |name: &str| {
+        shape
+            .table(name)
+            .map(|t| t.schema.clone())
+            .unwrap_or_default()
+    };
+    let schema = plan.schema(&lookup);
+    let mut out = Table::empty(schema);
+    let reals = &response.instance[0];
+    for r in 0..compiled.output_cap {
+        let is_real = reals.get(r).copied().unwrap_or(Fq::ZERO);
+        if is_real == Fq::ONE {
+            let row: Option<Vec<i64>> = (1..response.instance.len())
+                .map(|c| decode(&response.instance[c][r]))
+                .collect();
+            let row = row.ok_or_else(|| DbError::Verify("non-decodable output".to_string()))?;
+            out.push_row(&row);
+        } else if !is_real.is_zero() {
+            return Err(DbError::Verify("real indicator not boolean".to_string()));
+        }
+    }
+    // Sanity: the attached result must equal the proven instance content.
+    if out != response.result {
+        return Err(DbError::Verify(
+            "claimed result differs from proven instance".to_string(),
+        ));
+    }
+    Ok(out)
+}

@@ -1,0 +1,76 @@
+//! Value encoding between SQL integers and circuit field elements.
+//!
+//! Circuit values live in `[0, 2^56)` so that every comparison reduces to a
+//! 7-byte decomposition range check (paper §4.1, Design C): for
+//! `a, b ∈ [0, 2^56)`, `a ≤ b` iff `b − a ∈ [0, 2^56)` in the field.
+
+use poneglyph_arith::{Fq, PrimeField};
+
+/// Exclusive upper bound of circuit values: `2^56`.
+pub const VALUE_BITS: u32 = 56;
+/// Bytes in a value decomposition.
+pub const VALUE_BYTES: usize = 7;
+/// `2^56` as `u64`.
+pub const VALUE_BOUND: u64 = 1 << VALUE_BITS;
+/// The largest encodable value (also the join sentinel `MAXK`).
+pub const MAX_VALUE: u64 = VALUE_BOUND - 1;
+
+/// Encode an SQL integer into the circuit domain.
+///
+/// Panics on values outside `[0, 2^56 − 1)`; the SQL layer guarantees the
+/// range for TPC-H-style data (prices in cents, day numbers, dictionary
+/// ids).
+pub fn encode(v: i64) -> u64 {
+    assert!(
+        v >= 0 && (v as u64) < MAX_VALUE,
+        "value {v} outside the provable range [0, 2^56-1)"
+    );
+    v as u64
+}
+
+/// Encode into the field.
+pub fn encode_fq(v: i64) -> Fq {
+    Fq::from_u64(encode(v))
+}
+
+/// `2^56` as a field element (the comparison shift of Design D).
+pub fn bound_fq() -> Fq {
+    Fq::from_u64(VALUE_BOUND)
+}
+
+/// Decode a canonical field element back to an SQL integer; `None` when the
+/// element is out of range.
+pub fn decode(f: &Fq) -> Option<i64> {
+    let v = f.to_u64()?;
+    (v < VALUE_BOUND).then_some(v as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for v in [0i64, 1, 12345, (1 << 56) - 2] {
+            assert_eq!(decode(&encode_fq(v)), Some(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the provable range")]
+    fn negative_rejected() {
+        encode(-1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the provable range")]
+    fn too_large_rejected() {
+        encode(1 << 56);
+    }
+
+    #[test]
+    fn decode_rejects_large_field_elements() {
+        assert_eq!(decode(&Fq::from_u64(1 << 57)), None);
+        assert_eq!(decode(&(-Fq::ONE)), None);
+    }
+}

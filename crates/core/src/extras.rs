@@ -1,0 +1,327 @@
+//! The paper's §4.5 extensions beyond the TPC-H operator set: set
+//! operations, string equality, and the additional aggregates (variance /
+//! standard deviation via sum-of-squares, median via sorting).
+//!
+//! Each gadget follows the construction the paper sketches: set equality is
+//! sort + row-wise equality, set disjointness is a merged strict sort, and
+//! string operations act on 8-byte-packed chunks.
+
+use crate::builder::Builder;
+use crate::encode::{encode, VALUE_BOUND};
+use poneglyph_arith::{Fq, PrimeField};
+use poneglyph_plonkish::{Expression, Rotation};
+
+/// Build a circuit proving two private value multisets are equal (§4.5 "Set
+/// equality is handled by first sorting both tables and then comparing
+/// tuples at each index"). Returns the builder for further composition.
+pub fn set_equality_circuit(a: &[i64], b: &[i64]) -> Builder {
+    assert_eq!(a.len(), b.len(), "set equality requires equal cardinality");
+    let mut bld = Builder::new(true);
+    let n = a.len();
+    let q = bld.selector(n);
+    let av: Vec<u64> = a.iter().map(|v| encode(*v)).collect();
+    let bv: Vec<u64> = b.iter().map(|v| encode(*v)).collect();
+    let mut asorted = av.clone();
+    let mut bsorted = bv.clone();
+    asorted.sort_unstable();
+    bsorted.sort_unstable();
+
+    let ac = bld.advice_u64(&av);
+    let bc = bld.advice_u64(&bv);
+    let asc = bld.advice_u64(&asorted);
+    let bsc = bld.advice_u64(&bsorted);
+    let qe = Expression::fixed(q.index);
+    // sorted versions are shuffles of the originals (Eq. 5)
+    bld.cs.add_shuffle(
+        "set-a-perm",
+        vec![qe.clone() * Expression::advice(ac.index)],
+        vec![qe.clone() * Expression::advice(asc.index)],
+    );
+    bld.cs.add_shuffle(
+        "set-b-perm",
+        vec![qe.clone() * Expression::advice(bc.index)],
+        vec![qe.clone() * Expression::advice(bsc.index)],
+    );
+    // row-wise equality of the sorted columns
+    bld.cs.create_gate(
+        "set-eq-rows",
+        vec![qe * (Expression::advice(asc.index) - Expression::advice(bsc.index))],
+    );
+    bld
+}
+
+/// Build a circuit proving two private value sets are disjoint: the merged
+/// sorted column must be strictly increasing (§4.5 set disjointness; also
+/// the core of the join's completeness argument §4.4).
+pub fn set_disjoint_circuit(a: &[i64], b: &[i64]) -> Builder {
+    let mut bld = Builder::new(true);
+    let n = a.len() + b.len();
+    let q = bld.selector(n);
+    // stacked input column: a then b
+    let stacked: Vec<u64> = a.iter().chain(b.iter()).map(|v| encode(*v)).collect();
+    let mut merged = stacked.clone();
+    merged.sort_unstable();
+
+    let sc = bld.advice_u64(&stacked);
+    let mc = bld.advice_u64(&merged);
+    let qe = Expression::fixed(q.index);
+    bld.cs.add_shuffle(
+        "disjoint-perm",
+        vec![qe.clone() * Expression::advice(sc.index)],
+        vec![qe.clone() * Expression::advice(mc.index)],
+    );
+    // strict order: merged[i+1] − merged[i] − 1 ∈ [0, 2^56)
+    let q_pair = bld.selector(n.saturating_sub(1));
+    let dvals: Vec<u64> = (0..n.saturating_sub(1))
+        .map(|i| {
+            merged[i + 1]
+                .checked_sub(merged[i] + 1)
+                .expect("witness sets are not disjoint")
+        })
+        .collect();
+    let dc = bld.advice_u64(&dvals);
+    bld.cs.create_gate(
+        "disjoint-strict",
+        vec![
+            Expression::fixed(q_pair.index)
+                * (Expression::advice(dc.index)
+                    - Expression::advice_at(mc.index, Rotation::NEXT)
+                    + Expression::advice(mc.index)
+                    + Expression::Constant(Fq::ONE)),
+        ],
+    );
+    bld.range_check(q_pair, dc, crate::encode::VALUE_BYTES, &dvals, n);
+    bld
+}
+
+/// Pack a UTF-8 string into 7-byte field chunks (§4.5 string operations:
+/// "validating the equality of sub-strings ... using lookup tables"; we
+/// compare packed chunks with field equality).
+pub fn pack_string(s: &str) -> Vec<u64> {
+    s.as_bytes()
+        .chunks(7)
+        .map(|chunk| {
+            let mut v: u64 = 0;
+            for (i, b) in chunk.iter().enumerate() {
+                v |= (*b as u64) << (8 * i);
+            }
+            v
+        })
+        .collect()
+}
+
+/// Build a circuit proving two private strings are equal, chunk-wise.
+pub fn string_equality_circuit(a: &str, b: &str) -> Builder {
+    let pa = pack_string(a);
+    let pb = pack_string(b);
+    let n = pa.len().max(pb.len()).max(1);
+    let mut pa = pa;
+    let mut pb = pb;
+    pa.resize(n, 0);
+    pb.resize(n, 0);
+    let mut bld = Builder::new(true);
+    let q = bld.selector(n);
+    let ac = bld.advice_u64(&pa);
+    let bc = bld.advice_u64(&pb);
+    bld.cs.create_gate(
+        "string-eq",
+        vec![
+            Expression::fixed(q.index)
+                * (Expression::advice(ac.index) - Expression::advice(bc.index)),
+        ],
+    );
+    bld
+}
+
+/// Build a circuit proving `claimed` is the median of a private value set:
+/// the set is sorted (shuffle + ordering) and the claimed value is bound to
+/// the middle index with a copy constraint (§4.5 MEDIAN via sorting).
+pub fn median_circuit(values: &[i64], claimed: i64) -> Builder {
+    assert!(!values.is_empty());
+    let mut bld = Builder::new(true);
+    let n = values.len();
+    let q = bld.selector(n);
+    let raw: Vec<u64> = values.iter().map(|v| encode(*v)).collect();
+    let mut sorted = raw.clone();
+    sorted.sort_unstable();
+
+    let rc = bld.advice_u64(&raw);
+    let sc = bld.advice_u64(&sorted);
+    let qe = Expression::fixed(q.index);
+    bld.cs.add_shuffle(
+        "median-perm",
+        vec![qe.clone() * Expression::advice(rc.index)],
+        vec![qe * Expression::advice(sc.index)],
+    );
+    // non-strict ordering
+    let q_pair = bld.selector(n.saturating_sub(1));
+    let dvals: Vec<u64> = (0..n.saturating_sub(1))
+        .map(|i| sorted[i + 1] - sorted[i])
+        .collect();
+    let dc = bld.advice_u64(&dvals);
+    bld.cs.create_gate(
+        "median-sorted",
+        vec![
+            Expression::fixed(q_pair.index)
+                * (Expression::advice(dc.index)
+                    - Expression::advice_at(sc.index, Rotation::NEXT)
+                    + Expression::advice(sc.index)),
+        ],
+    );
+    bld.range_check(q_pair, dc, crate::encode::VALUE_BYTES, &dvals, n);
+    // public median at the middle index
+    let mid = (n - 1) / 2;
+    let inst = bld.instance(&[Fq::from_u64(encode(claimed))]);
+    bld.copy(
+        poneglyph_plonkish::Cell {
+            column: sc,
+            row: mid,
+        },
+        poneglyph_plonkish::Cell {
+            column: inst,
+            row: 0,
+        },
+    );
+    bld
+}
+
+/// Integer population variance scaled by `n²`: `n·Σx² − (Σx)²`, proven with
+/// running sum and sum-of-squares columns (§4.5 VARIANCE / STDDEV).
+///
+/// Returns the builder and the claimed scaled variance as public output.
+pub fn variance_circuit(values: &[i64]) -> (Builder, u128) {
+    assert!(!values.is_empty());
+    let n = values.len();
+    let raw: Vec<u64> = values.iter().map(|v| encode(*v)).collect();
+    let sum: u128 = raw.iter().map(|v| *v as u128).sum();
+    let sumsq: u128 = raw.iter().map(|v| (*v as u128) * (*v as u128)).sum();
+    let scaled_var = (n as u128) * sumsq - sum * sum;
+
+    let mut bld = Builder::new(true);
+    let q = bld.selector(n);
+    let vc = bld.advice_u64(&raw);
+    // running sum S and running sum of squares T
+    let mut s_vals = Vec::with_capacity(n);
+    let mut t_vals = Vec::with_capacity(n);
+    let (mut s, mut t) = (Fq::ZERO, Fq::ZERO);
+    for v in &raw {
+        let f = Fq::from_u64(*v);
+        s += f;
+        t += f * f;
+        s_vals.push(s);
+        t_vals.push(t);
+    }
+    let scol = bld.advice(&s_vals);
+    let tcol = bld.advice(&t_vals);
+    let q_rest = bld.selector_range(1, n);
+    let q0 = bld.selector_single(0);
+    let ve = Expression::advice(vc.index);
+    bld.cs.create_gate(
+        "variance-running",
+        vec![
+            Expression::fixed(q_rest.index)
+                * (Expression::advice(scol.index)
+                    - Expression::advice_at(scol.index, Rotation::PREV)
+                    - ve.clone()),
+            Expression::fixed(q_rest.index)
+                * (Expression::advice(tcol.index)
+                    - Expression::advice_at(tcol.index, Rotation::PREV)
+                    - ve.clone() * ve.clone()),
+            Expression::fixed(q0.index) * (Expression::advice(scol.index) - ve.clone()),
+            Expression::fixed(q0.index)
+                * (Expression::advice(tcol.index) - ve.clone() * ve),
+        ],
+    );
+    // public: n·T_final − S_final² at the last row
+    let out_val = Fq::from_u64(n as u64) * t_vals[n - 1] - s_vals[n - 1] * s_vals[n - 1];
+    let out = bld.advice(&vec![Fq::ZERO; n - 1].into_iter().chain([out_val]).collect::<Vec<_>>());
+    let q_last = bld.selector_single(n - 1);
+    bld.cs.create_gate(
+        "variance-output",
+        vec![
+            Expression::fixed(q_last.index)
+                * (Expression::advice(out.index)
+                    - Expression::advice(tcol.index) * Fq::from_u64(n as u64)
+                    + Expression::advice(scol.index) * Expression::advice(scol.index)),
+        ],
+    );
+    let inst = bld.instance(&[Fq::from_u128(scaled_var)]);
+    bld.copy(
+        poneglyph_plonkish::Cell {
+            column: out,
+            row: n - 1,
+        },
+        poneglyph_plonkish::Cell {
+            column: inst,
+            row: 0,
+        },
+    );
+    let _ = VALUE_BOUND;
+    (bld, scaled_var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poneglyph_plonkish::mock_prove;
+
+    #[test]
+    fn set_equality_accepts_permutations() {
+        let b = set_equality_circuit(&[3, 1, 2, 2], &[2, 2, 3, 1]);
+        let (cs, asn) = b.finish();
+        mock_prove(&cs, &asn).expect("equal multisets");
+    }
+
+    #[test]
+    fn set_equality_rejects_different_multisets() {
+        let b = set_equality_circuit(&[3, 1, 2, 2], &[2, 3, 3, 1]);
+        let (cs, asn) = b.finish();
+        assert!(mock_prove(&cs, &asn).is_err());
+    }
+
+    #[test]
+    fn set_disjoint_accepts_disjoint() {
+        let b = set_disjoint_circuit(&[1, 5, 9], &[2, 4, 100]);
+        let (cs, asn) = b.finish();
+        mock_prove(&cs, &asn).expect("disjoint sets");
+    }
+
+    #[test]
+    #[should_panic(expected = "not disjoint")]
+    fn set_disjoint_rejects_overlap() {
+        // overlapping witness cannot even be constructed
+        let _ = set_disjoint_circuit(&[1, 5], &[5, 9]);
+    }
+
+    #[test]
+    fn string_packing_and_equality() {
+        assert_eq!(pack_string(""), Vec::<u64>::new());
+        assert_ne!(pack_string("ECONOMY ANODIZED STEEL"), pack_string("ECONOMY BURNISHED STEEL"));
+        let b = string_equality_circuit("ECONOMY ANODIZED STEEL", "ECONOMY ANODIZED STEEL");
+        let (cs, asn) = b.finish();
+        mock_prove(&cs, &asn).expect("equal strings");
+        let b = string_equality_circuit("BRASS", "STEEL");
+        let (cs, asn) = b.finish();
+        assert!(mock_prove(&cs, &asn).is_err());
+    }
+
+    #[test]
+    fn median_is_bound_to_middle() {
+        let b = median_circuit(&[9, 1, 7, 3, 5], 5);
+        let (cs, asn) = b.finish();
+        mock_prove(&cs, &asn).expect("correct median");
+        let b = median_circuit(&[9, 1, 7, 3, 5], 7);
+        let (cs, asn) = b.finish();
+        assert!(mock_prove(&cs, &asn).is_err(), "wrong median rejected");
+    }
+
+    #[test]
+    fn variance_matches_reference() {
+        let values = [4i64, 8, 6, 2];
+        let (b, scaled) = variance_circuit(&values);
+        // n²·Var = n·Σx² − (Σx)²: n=4, Σx=20, Σx²=120: 480−400=80
+        assert_eq!(scaled, 80);
+        let (cs, asn) = b.finish();
+        mock_prove(&cs, &asn).expect("variance circuit");
+    }
+}

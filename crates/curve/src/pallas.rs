@@ -1,0 +1,470 @@
+//! The Pallas curve: `y² = x³ + 5` over [`Fp`], with prime group order equal
+//! to the [`Fq`] modulus (cofactor 1). This is the commitment group for the
+//! IPA polynomial commitment scheme (paper §3.2: "a 254-bit prime field").
+
+use poneglyph_arith::{Fp, Fq, PrimeField};
+use poneglyph_hash::Blake2b;
+
+/// The curve constant `b` in `y² = x³ + b`.
+pub fn curve_b() -> Fp {
+    Fp::from_u64(5)
+}
+
+/// A point in affine coordinates. The identity is encoded out-of-band.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PallasAffine {
+    /// x-coordinate (meaningless when `infinity`).
+    pub x: Fp,
+    /// y-coordinate (meaningless when `infinity`).
+    pub y: Fp,
+    /// Identity flag.
+    pub infinity: bool,
+}
+
+/// A point in Jacobian projective coordinates (`Z = 0` is the identity).
+#[derive(Clone, Copy, Debug)]
+pub struct Pallas {
+    pub(crate) x: Fp,
+    pub(crate) y: Fp,
+    pub(crate) z: Fp,
+}
+
+impl PallasAffine {
+    /// The group identity.
+    pub const fn identity() -> Self {
+        Self {
+            x: Fp::ZERO,
+            y: Fp::ZERO,
+            infinity: true,
+        }
+    }
+
+    /// Curve membership check.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        self.y.square() == self.x.square() * self.x + curve_b()
+    }
+
+    /// Uncompressed 64-byte encoding (x ‖ y little-endian); the identity is
+    /// all zeros, which is never a curve point since `0³ + 5` has no root at
+    /// `y = 0`.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        if !self.infinity {
+            out[..32].copy_from_slice(&self.x.to_repr());
+            out[32..].copy_from_slice(&self.y.to_repr());
+        }
+        out
+    }
+
+    /// Parse a 64-byte encoding, rejecting off-curve points.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Self> {
+        if bytes.iter().all(|&b| b == 0) {
+            return Some(Self::identity());
+        }
+        let x = Fp::from_repr(bytes[..32].try_into().unwrap())?;
+        let y = Fp::from_repr(bytes[32..].try_into().unwrap())?;
+        let p = Self {
+            x,
+            y,
+            infinity: false,
+        };
+        p.is_on_curve().then_some(p)
+    }
+
+    /// Group negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            infinity: self.infinity,
+        }
+    }
+
+    /// Lift to Jacobian coordinates.
+    pub fn to_projective(&self) -> Pallas {
+        if self.infinity {
+            Pallas::identity()
+        } else {
+            Pallas {
+                x: self.x,
+                y: self.y,
+                z: Fp::ONE,
+            }
+        }
+    }
+}
+
+impl Pallas {
+    /// The group identity.
+    pub const fn identity() -> Self {
+        Self {
+            x: Fp::ZERO,
+            y: Fp::ONE,
+            z: Fp::ZERO,
+        }
+    }
+
+    /// Is this the identity?
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// A fixed generator, derived by hashing-to-curve (the group has prime
+    /// order, so any non-identity point generates it).
+    pub fn generator() -> Self {
+        hash_to_curve(b"poneglyph-pallas-generator", 0).to_projective()
+    }
+
+    /// Convert to affine coordinates (single inversion).
+    pub fn to_affine(&self) -> PallasAffine {
+        if self.is_identity() {
+            return PallasAffine::identity();
+        }
+        let zinv = self.z.invert().expect("nonzero z");
+        let zinv2 = zinv.square();
+        PallasAffine {
+            x: self.x * zinv2,
+            y: self.y * zinv2 * zinv,
+            infinity: false,
+        }
+    }
+
+    /// Batch conversion to affine with one shared inversion.
+    pub fn batch_to_affine(points: &[Self]) -> Vec<PallasAffine> {
+        let mut zs: Vec<Fp> = points.iter().map(|p| p.z).collect();
+        Fp::batch_invert(&mut zs);
+        points
+            .iter()
+            .zip(zs)
+            .map(|(p, zinv)| {
+                if p.is_identity() {
+                    PallasAffine::identity()
+                } else {
+                    let zinv2 = zinv.square();
+                    PallasAffine {
+                        x: p.x * zinv2,
+                        y: p.y * zinv2 * zinv,
+                        infinity: false,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Point doubling (Jacobian, a = 0).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let c8 = c.double().double().double();
+        let y3 = e * (d - x3) - c8;
+        let z3 = (self.y * self.z).double();
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General Jacobian addition.
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * other.z * z2z2;
+        let s2 = other.y * self.z * z1z1;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition with an affine point (saves field operations in MSM).
+    pub fn add_affine(&self, other: &PallasAffine) -> Self {
+        if other.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return other.to_projective();
+        }
+        let z1z1 = self.z.square();
+        let u2 = other.x * z1z1;
+        let s2 = other.y * self.z * z1z1;
+        if self.x == u2 {
+            if self.y == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h * i;
+        let r = (s2 - self.y).double();
+        let v = self.x * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (self.y * j).double();
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Group negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Scalar multiplication by an `Fq` scalar (double-and-add, variable
+    /// time — acceptable here because scalars in the protocol are public or
+    /// blinded).
+    pub fn mul(&self, scalar: &Fq) -> Self {
+        let limbs = scalar.to_canonical();
+        let mut acc = Self::identity();
+        let mut started = false;
+        for limb in limbs.iter().rev() {
+            for i in (0..64).rev() {
+                if started {
+                    acc = acc.double();
+                }
+                if (limb >> i) & 1 == 1 {
+                    acc = acc.add(self);
+                    started = true;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Structural equality as group elements (compares affine forms).
+    pub fn eq_point(&self, other: &Self) -> bool {
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                // x1/z1² == x2/z2²  and  y1/z1³ == y2/z2³ cross-multiplied.
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+            }
+        }
+    }
+}
+
+impl PartialEq for Pallas {
+    fn eq(&self, other: &Self) -> bool {
+        self.eq_point(other)
+    }
+}
+impl Eq for Pallas {}
+
+impl core::ops::Add for Pallas {
+    type Output = Pallas;
+    fn add(self, rhs: Pallas) -> Pallas {
+        Pallas::add(&self, &rhs)
+    }
+}
+impl core::ops::Sub for Pallas {
+    type Output = Pallas;
+    fn sub(self, rhs: Pallas) -> Pallas {
+        Pallas::sub(&self, &rhs)
+    }
+}
+impl core::ops::Neg for Pallas {
+    type Output = Pallas;
+    fn neg(self) -> Pallas {
+        Pallas::neg(&self)
+    }
+}
+impl core::ops::Mul<Fq> for Pallas {
+    type Output = Pallas;
+    fn mul(self, rhs: Fq) -> Pallas {
+        Pallas::mul(&self, &rhs)
+    }
+}
+impl core::iter::Sum for Pallas {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::identity(), |a, b| a.add(&b))
+    }
+}
+
+/// Deterministic hash-to-curve by try-and-increment over BLAKE2b output.
+///
+/// Used to derive independent commitment generators with no known discrete
+/// log relations (paper §3.2: public parameters from publicly verifiable
+/// randomness — no trusted setup).
+pub fn hash_to_curve(domain: &[u8], index: u64) -> PallasAffine {
+    let mut ctr: u64 = 0;
+    loop {
+        let mut h = Blake2b::new();
+        h.update(b"poneglyph-htc");
+        h.update(&(domain.len() as u64).to_le_bytes());
+        h.update(domain);
+        h.update(&index.to_le_bytes());
+        h.update(&ctr.to_le_bytes());
+        let x = Fp::from_bytes_wide(&h.finalize());
+        let y2 = x.square() * x + curve_b();
+        if let Some(y) = y2.sqrt() {
+            // Canonical sign: pick the root whose low repr bit is 0.
+            let y = if y.to_repr()[0] & 1 == 0 { y } else { -y };
+            return PallasAffine {
+                x,
+                y,
+                infinity: false,
+            };
+        }
+        ctr += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        let g = Pallas::generator().to_affine();
+        assert!(g.is_on_curve());
+        assert!(!g.infinity);
+    }
+
+    #[test]
+    fn group_laws() {
+        let mut r = rng();
+        let g = Pallas::generator();
+        let a = g.mul(&Fq::random(&mut r));
+        let b = g.mul(&Fq::random(&mut r));
+        let c = g.mul(&Fq::random(&mut r));
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.add(&Pallas::identity()), a);
+        assert_eq!(a.add(&a.neg()), Pallas::identity());
+        assert_eq!(a.double(), a.add(&a));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let mut r = rng();
+        let g = Pallas::generator();
+        let x = Fq::random(&mut r);
+        let y = Fq::random(&mut r);
+        assert_eq!(g.mul(&x).add(&g.mul(&y)), g.mul(&(x + y)));
+        assert_eq!(g.mul(&x).mul(&y), g.mul(&(x * y)));
+    }
+
+    #[test]
+    fn order_annihilates() {
+        // q * G = identity: q ≡ 0 in Fq, i.e. mul by Fq::ZERO.
+        let g = Pallas::generator();
+        assert!(g.mul(&Fq::ZERO).is_identity());
+        // (q-1)*G = -G
+        assert_eq!(g.mul(&(-Fq::ONE)), g.neg());
+    }
+
+    #[test]
+    fn mixed_add_matches_full_add() {
+        let mut r = rng();
+        let g = Pallas::generator();
+        let a = g.mul(&Fq::random(&mut r));
+        let b = g.mul(&Fq::random(&mut r));
+        let b_aff = b.to_affine();
+        assert_eq!(a.add_affine(&b_aff), a.add(&b));
+        // doubling path
+        assert_eq!(a.add_affine(&a.to_affine()), a.double());
+        // identity paths
+        assert_eq!(Pallas::identity().add_affine(&b_aff), b);
+        assert_eq!(a.add_affine(&PallasAffine::identity()), a);
+    }
+
+    #[test]
+    fn affine_roundtrip_and_bytes() {
+        let mut r = rng();
+        let p = Pallas::generator().mul(&Fq::random(&mut r));
+        let aff = p.to_affine();
+        assert_eq!(aff.to_projective(), p);
+        let bytes = aff.to_bytes();
+        assert_eq!(PallasAffine::from_bytes(&bytes), Some(aff));
+        // identity roundtrip
+        let id = PallasAffine::identity();
+        assert_eq!(PallasAffine::from_bytes(&id.to_bytes()), Some(id));
+        // corrupt a byte -> reject or different point, never silently equal
+        let mut bad = bytes;
+        bad[0] ^= 1;
+        if let Some(q) = PallasAffine::from_bytes(&bad) {
+            assert_ne!(q, aff);
+        }
+    }
+
+    #[test]
+    fn batch_to_affine_matches() {
+        let mut r = rng();
+        let g = Pallas::generator();
+        let mut pts: Vec<Pallas> = (0..17).map(|_| g.mul(&Fq::random(&mut r))).collect();
+        pts[5] = Pallas::identity();
+        let batch = Pallas::batch_to_affine(&pts);
+        for (p, a) in pts.iter().zip(&batch) {
+            assert_eq!(p.to_affine(), *a);
+        }
+    }
+
+    #[test]
+    fn hash_to_curve_distinct_and_valid() {
+        let a = hash_to_curve(b"domain", 0);
+        let b = hash_to_curve(b"domain", 1);
+        let c = hash_to_curve(b"other", 0);
+        assert!(a.is_on_curve() && b.is_on_curve() && c.is_on_curve());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // deterministic
+        assert_eq!(a, hash_to_curve(b"domain", 0));
+    }
+}

@@ -1,0 +1,215 @@
+//! BLAKE2b (RFC 7693), unkeyed, 64-byte digest — implemented from scratch
+//! because the proving stack must be dependency-free in its cryptography.
+
+const IV: [u64; 8] = [
+    0x6a09_e667_f3bc_c908,
+    0xbb67_ae85_84ca_a73b,
+    0x3c6e_f372_fe94_f82b,
+    0xa54f_f53a_5f1d_36f1,
+    0x510e_527f_ade6_82d1,
+    0x9b05_688c_2b3e_6c1f,
+    0x1f83_d9ab_fb41_bd6b,
+    0x5be0_cd19_137e_2179,
+];
+
+const SIGMA: [[usize; 16]; 12] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+];
+
+/// Incremental BLAKE2b-512 hasher.
+#[derive(Clone)]
+pub struct Blake2b {
+    h: [u64; 8],
+    buf: [u8; 128],
+    buf_len: usize,
+    counter: u128,
+}
+
+impl Default for Blake2b {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blake2b {
+    /// Start a new unkeyed 64-byte-digest hash.
+    pub fn new() -> Self {
+        let mut h = IV;
+        // Parameter block: digest_length = 64, key_length = 0, fanout = 1,
+        // depth = 1 — packed into the low word.
+        h[0] ^= 0x0101_0040;
+        Self {
+            h,
+            buf: [0u8; 128],
+            buf_len: 0,
+            counter: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        // Fill the pending buffer first; compress only when we *know* more
+        // data follows (the final block is compressed in `finalize`).
+        if self.buf_len > 0 {
+            let want = 128 - self.buf_len;
+            let take = want.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 128 && !data.is_empty() {
+                self.counter += 128;
+                let block = self.buf;
+                self.compress(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() > 128 {
+            self.counter += 128;
+            let (block, rest) = data.split_at(128);
+            self.compress(block.try_into().unwrap(), false);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish and produce the 64-byte digest.
+    pub fn finalize(mut self) -> [u8; 64] {
+        self.counter += self.buf_len as u128;
+        for b in &mut self.buf[self.buf_len..] {
+            *b = 0;
+        }
+        let block = self.buf;
+        self.compress(&block, true);
+        let mut out = [0u8; 64];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 128], last: bool) {
+        let mut m = [0u64; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(block[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        let mut v = [0u64; 16];
+        v[..8].copy_from_slice(&self.h);
+        v[8..].copy_from_slice(&IV);
+        v[12] ^= self.counter as u64;
+        v[13] ^= (self.counter >> 64) as u64;
+        if last {
+            v[14] = !v[14];
+        }
+
+        #[inline(always)]
+        fn g(v: &mut [u64; 16], a: usize, b: usize, c: usize, d: usize, x: u64, y: u64) {
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+            v[d] = (v[d] ^ v[a]).rotate_right(32);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(24);
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+            v[d] = (v[d] ^ v[a]).rotate_right(16);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(63);
+        }
+
+        for s in &SIGMA {
+            g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+            g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+            g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+            g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+            g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+            g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+            g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+            g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+        }
+
+        for i in 0..8 {
+            self.h[i] ^= v[i] ^ v[i + 8];
+        }
+    }
+}
+
+/// One-shot BLAKE2b-512.
+pub fn blake2b(data: &[u8]) -> [u8; 64] {
+    let mut h = Blake2b::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc7693_abc_vector() {
+        let d = blake2b(b"abc");
+        assert_eq!(
+            hex(&d),
+            "ba80a53f981c4d0d6a2797b69f12f6e94c212f14685ac4b74b12bb6fdbffa2d1\
+             7d87c5392aab792dc252d5de4533cc9518d38aa8dbf1925ab92386edd4009923"
+        );
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        let d = blake2b(b"");
+        assert_eq!(
+            hex(&d),
+            "786a02f742015903c6c6fd852552d272912f4740e15847618a86e217f71f5419\
+             d25e1031afee585313896444934eb04b903a685b1448b755d56f701afe9be2ce"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 127, 128, 129, 256, 999, 1000] {
+            let mut h = Blake2b::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), blake2b(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn multi_chunk_updates() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut h = Blake2b::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), blake2b(&data));
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        let data = [0xabu8; 128];
+        let mut h = Blake2b::new();
+        h.update(&data);
+        assert_eq!(h.finalize(), blake2b(&data));
+        let data = [0xcdu8; 256];
+        let mut h = Blake2b::new();
+        h.update(&data[..128]);
+        h.update(&data[128..]);
+        assert_eq!(h.finalize(), blake2b(&data));
+    }
+}

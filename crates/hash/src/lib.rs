@@ -1,0 +1,13 @@
+//! # poneglyph-hash
+//!
+//! The hashing substrate for PoneglyphDB: a from-scratch BLAKE2b-512
+//! ([RFC 7693]) and the Fiat–Shamir [`Transcript`] that turns the public-coin
+//! PLONK/IPA protocol into a non-interactive one (paper §2.1).
+//!
+//! [RFC 7693]: https://www.rfc-editor.org/rfc/rfc7693
+
+mod blake2b;
+mod transcript;
+
+pub use blake2b::{blake2b, Blake2b};
+pub use transcript::Transcript;

@@ -1,0 +1,129 @@
+//! The Fiat–Shamir transcript.
+//!
+//! A thin duplex construction over BLAKE2b: every absorbed message is mixed
+//! into a 64-byte rolling state together with a domain-separation label, and
+//! challenges are squeezed by hashing the state under a distinct label. This
+//! is the non-interactivity mechanism of §2.1 of the paper (the Fiat–Shamir
+//! heuristic applied to a public-coin protocol).
+
+use crate::blake2b::Blake2b;
+use poneglyph_arith::PrimeField;
+
+/// A Fiat–Shamir transcript shared (in spirit) by prover and verifier.
+///
+/// Both sides must perform the identical sequence of `absorb_*` /
+/// `challenge_*` calls; any divergence (e.g. a tampered proof element)
+/// changes every subsequent challenge.
+#[derive(Clone)]
+pub struct Transcript {
+    state: [u8; 64],
+}
+
+impl Transcript {
+    /// Start a transcript under a protocol label.
+    pub fn new(label: &[u8]) -> Self {
+        let mut h = Blake2b::new();
+        h.update(b"poneglyph-transcript-v1");
+        h.update(label);
+        Self { state: h.finalize() }
+    }
+
+    /// Absorb raw bytes under a label.
+    pub fn absorb_bytes(&mut self, label: &[u8], data: &[u8]) {
+        let mut h = Blake2b::new();
+        h.update(&self.state);
+        h.update(&(label.len() as u64).to_le_bytes());
+        h.update(label);
+        h.update(&(data.len() as u64).to_le_bytes());
+        h.update(data);
+        self.state = h.finalize();
+    }
+
+    /// Absorb a field element (canonical encoding).
+    pub fn absorb_scalar<F: PrimeField>(&mut self, label: &[u8], scalar: &F) {
+        self.absorb_bytes(label, &scalar.to_repr());
+    }
+
+    /// Absorb a `u64` (lengths, indices).
+    pub fn absorb_u64(&mut self, label: &[u8], v: u64) {
+        self.absorb_bytes(label, &v.to_le_bytes());
+    }
+
+    /// Squeeze 64 challenge bytes and advance the state.
+    pub fn challenge_bytes(&mut self, label: &[u8]) -> [u8; 64] {
+        let mut h = Blake2b::new();
+        h.update(&self.state);
+        h.update(b"squeeze");
+        h.update(&(label.len() as u64).to_le_bytes());
+        h.update(label);
+        let out = h.finalize();
+        self.state = out;
+        out
+    }
+
+    /// Squeeze a field-element challenge.
+    pub fn challenge_scalar<F: PrimeField>(&mut self, label: &[u8]) -> F {
+        F::from_bytes_wide(&self.challenge_bytes(label))
+    }
+
+    /// Squeeze a *nonzero* field-element challenge (re-squeezes on the
+    /// negligible zero event; grand products divide by challenges).
+    pub fn challenge_nonzero<F: PrimeField>(&mut self, label: &[u8]) -> F {
+        loop {
+            let c: F = self.challenge_scalar(label);
+            if !c.is_zero() {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poneglyph_arith::Fq;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut t1 = Transcript::new(b"test");
+        let mut t2 = Transcript::new(b"test");
+        t1.absorb_bytes(b"a", b"x");
+        t2.absorb_bytes(b"a", b"x");
+        let c1: Fq = t1.challenge_scalar(b"c");
+        let c2: Fq = t2.challenge_scalar(b"c");
+        assert_eq!(c1, c2);
+
+        let mut t3 = Transcript::new(b"test");
+        t3.absorb_bytes(b"a", b"y");
+        let c3: Fq = t3.challenge_scalar(b"c");
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn label_domain_separation() {
+        let mut t1 = Transcript::new(b"test");
+        let mut t2 = Transcript::new(b"test");
+        t1.absorb_bytes(b"ab", b"c");
+        t2.absorb_bytes(b"a", b"bc");
+        let c1: Fq = t1.challenge_scalar(b"c");
+        let c2: Fq = t2.challenge_scalar(b"c");
+        assert_ne!(c1, c2, "length prefixes must prevent concat ambiguity");
+    }
+
+    #[test]
+    fn challenges_advance_state() {
+        let mut t = Transcript::new(b"test");
+        let c1: Fq = t.challenge_scalar(b"c");
+        let c2: Fq = t.challenge_scalar(b"c");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn protocol_label_separates() {
+        let mut t1 = Transcript::new(b"proto-a");
+        let mut t2 = Transcript::new(b"proto-b");
+        let c1: Fq = t1.challenge_scalar(b"c");
+        let c2: Fq = t2.challenge_scalar(b"c");
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,328 @@
+//! Key generation: compiling a circuit shape + fixed content into proving
+//! and verifying keys (paper workflow step 3, Figure 2).
+
+use crate::circuit::{Assignment, ConstraintSystem, PERMUTATION_CHUNK};
+
+use poneglyph_arith::{Fq, PrimeField};
+use poneglyph_curve::{Pallas, PallasAffine};
+use poneglyph_hash::Transcript;
+use poneglyph_pcs::IpaParams;
+use poneglyph_poly::{EvaluationDomain, Polynomial};
+
+/// The verifier's key: the circuit shape plus commitments to everything
+/// structural (fixed columns and the copy-constraint permutation).
+#[derive(Clone, Debug)]
+pub struct VerifyingKey {
+    /// The evaluation domain (size and extension factor).
+    pub domain: EvaluationDomain<Fq>,
+    /// The circuit shape.
+    pub cs: ConstraintSystem<Fq>,
+    /// Usable rows (the rest are boundary/blinding).
+    pub usable_rows: usize,
+    /// Commitments to the fixed columns.
+    pub fixed_commitments: Vec<PallasAffine>,
+    /// Commitments to the permutation polynomials σᵢ.
+    pub sigma_commitments: Vec<PallasAffine>,
+}
+
+impl VerifyingKey {
+    /// Bind this key into a transcript (both sides must call this first).
+    pub fn absorb_into(&self, transcript: &mut Transcript) {
+        transcript.absorb_u64(b"vk-k", self.domain.k as u64);
+        transcript.absorb_bytes(b"vk-cs", &self.cs.digest());
+        for c in &self.fixed_commitments {
+            transcript.absorb_bytes(b"vk-fixed", &c.to_bytes());
+        }
+        for c in &self.sigma_commitments {
+            transcript.absorb_bytes(b"vk-sigma", &c.to_bytes());
+        }
+    }
+
+    /// Coset multiplier for permutation column `i` (`gᶦ`, distinct cosets of
+    /// the evaluation domain for each column).
+    pub fn coset_multiplier(i: usize) -> Fq {
+        Fq::multiplicative_generator().pow(&[i as u64, 0, 0, 0])
+    }
+
+    /// Closed-form evaluation of the Lagrange basis polynomial `l_i` at `x`
+    /// (assumes `x` outside the domain, which holds w.o.p. for challenges).
+    pub fn lagrange_eval(&self, i: usize, x: Fq) -> Fq {
+        let n = self.domain.n;
+        let xn = x.pow(&[n as u64, 0, 0, 0]);
+        let wi = self.domain.rotate_omega(i as i32);
+        let num = (xn - Fq::ONE) * wi;
+        let den = Fq::from_u64(n as u64) * (x - wi);
+        num * den.invert().expect("challenge not in domain")
+    }
+
+    /// `l_active(x) = Σ_{i<usable} l_i(x) = 1 − Σ_{i≥usable} l_i(x)`.
+    pub fn l_active_eval(&self, x: Fq) -> Fq {
+        let mut acc = Fq::ONE;
+        for i in self.usable_rows..self.domain.n {
+            acc -= self.lagrange_eval(i, x);
+        }
+        acc
+    }
+}
+
+/// The prover's key: everything in the verifying key plus the actual
+/// polynomials (coefficient and extended forms).
+#[derive(Clone, Debug)]
+pub struct ProvingKey {
+    /// The embedded verifying key.
+    pub vk: VerifyingKey,
+    /// Fixed column polynomials (coefficient form).
+    pub fixed_polys: Vec<Polynomial<Fq>>,
+    /// Fixed column values (Lagrange form).
+    pub fixed_values: Vec<Vec<Fq>>,
+    /// Fixed columns over the extended coset.
+    pub fixed_cosets: Vec<Vec<Fq>>,
+    /// Permutation σ values in Lagrange form (per permutation column).
+    pub sigma_values: Vec<Vec<Fq>>,
+    /// Permutation σ polynomials.
+    pub sigma_polys: Vec<Polynomial<Fq>>,
+    /// Permutation σ over the extended coset.
+    pub sigma_cosets: Vec<Vec<Fq>>,
+    /// `l₀` over the extended coset.
+    pub l0_coset: Vec<Fq>,
+    /// `l_last` (at the boundary row) over the extended coset.
+    pub l_last_coset: Vec<Fq>,
+    /// Active-row indicator over the extended coset.
+    pub l_active_coset: Vec<Fq>,
+}
+
+/// Union-find over permutation cells.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Generate proving and verifying keys from a circuit shape and a
+/// representative assignment (fixed columns and copy constraints must be
+/// identical at proving time).
+pub fn keygen(params: &IpaParams, cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq>) -> ProvingKey {
+    assert_eq!(
+        params.k, asn.k,
+        "parameter capacity 2^{} must match circuit size 2^{}",
+        params.k, asn.k
+    );
+    let domain = EvaluationDomain::<Fq>::new(asn.k, cs.max_degree());
+    let n = domain.n;
+    let usable = asn.usable_rows;
+
+    // Fixed columns.
+    let fixed_values: Vec<Vec<Fq>> = asn.fixed.clone();
+    let fixed_polys: Vec<Polynomial<Fq>> = fixed_values
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let fixed_cosets: Vec<Vec<Fq>> = fixed_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let fixed_commitments: Vec<PallasAffine> = Pallas::batch_to_affine(
+        &fixed_polys
+            .iter()
+            .map(|p| params.commit(&p.coeffs, Fq::ZERO))
+            .collect::<Vec<_>>(),
+    );
+
+    // Permutation: union-find over (perm-column, row) cells.
+    let m = cs.permutation_columns.len();
+    let col_slot = |col: &crate::expression::Column| -> Option<usize> {
+        cs.permutation_columns.iter().position(|c| c == col)
+    };
+    let mut dsu = Dsu::new(m * n);
+    for (a, b) in &asn.copies {
+        let ca = col_slot(&a.column).unwrap_or_else(|| {
+            panic!("copy constraint uses column {:?} not enabled for permutation", a.column)
+        });
+        let cb = col_slot(&b.column).unwrap_or_else(|| {
+            panic!("copy constraint uses column {:?} not enabled for permutation", b.column)
+        });
+        dsu.union((ca * n + a.row) as u32, (cb * n + b.row) as u32);
+    }
+    // Build cycles: members of each class, in index order, map to the next.
+    let mut class_members: std::collections::HashMap<u32, Vec<u32>> =
+        std::collections::HashMap::new();
+    for id in 0..(m * n) as u32 {
+        let root = dsu.find(id);
+        class_members.entry(root).or_default().push(id);
+    }
+    // σ starts as the identity permutation and each multi-member class
+    // becomes one cycle.
+    let mut omega_pows = Vec::with_capacity(n);
+    let mut cur = Fq::ONE;
+    for _ in 0..n {
+        omega_pows.push(cur);
+        cur *= domain.omega;
+    }
+    let multipliers: Vec<Fq> = (0..m).map(VerifyingKey::coset_multiplier).collect();
+    let mut sigma_values: Vec<Vec<Fq>> = (0..m)
+        .map(|c| omega_pows.iter().map(|w| multipliers[c] * *w).collect())
+        .collect();
+    for members in class_members.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        for (i, &cell) in members.iter().enumerate() {
+            let next = members[(i + 1) % members.len()];
+            let (c, r) = ((cell as usize) / n, (cell as usize) % n);
+            let (nc, nr) = ((next as usize) / n, (next as usize) % n);
+            sigma_values[c][r] = multipliers[nc] * omega_pows[nr];
+        }
+    }
+    let sigma_polys: Vec<Polynomial<Fq>> = sigma_values
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let sigma_cosets: Vec<Vec<Fq>> = sigma_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let sigma_commitments = Pallas::batch_to_affine(
+        &sigma_polys
+            .iter()
+            .map(|p| params.commit(&p.coeffs, Fq::ZERO))
+            .collect::<Vec<_>>(),
+    );
+
+    // Protocol indicator polynomials.
+    let mut l0 = vec![Fq::ZERO; n];
+    l0[0] = Fq::ONE;
+    let mut l_last = vec![Fq::ZERO; n];
+    l_last[usable] = Fq::ONE;
+    let mut l_active = vec![Fq::ZERO; n];
+    for v in l_active[..usable].iter_mut() {
+        *v = Fq::ONE;
+    }
+    let l0_coset = domain.coeff_to_extended(&domain.lagrange_to_coeff(l0));
+    let l_last_coset = domain.coeff_to_extended(&domain.lagrange_to_coeff(l_last));
+    let l_active_coset = domain.coeff_to_extended(&domain.lagrange_to_coeff(l_active));
+
+    let _ = PERMUTATION_CHUNK; // referenced by prover/verifier
+    ProvingKey {
+        vk: VerifyingKey {
+            domain,
+            cs: cs.clone(),
+            usable_rows: usable,
+            fixed_commitments,
+            sigma_commitments,
+        },
+        fixed_polys,
+        fixed_values,
+        fixed_cosets,
+        sigma_values,
+        sigma_polys,
+        sigma_cosets,
+        l0_coset,
+        l_last_coset,
+        l_active_coset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Cell;
+    use crate::expression::Column;
+
+    #[test]
+    fn sigma_is_identity_without_copies() {
+        let params = IpaParams::setup(4);
+        let mut cs = ConstraintSystem::<Fq>::new();
+        let a = cs.advice_column();
+        cs.enable_permutation(a);
+        let asn = Assignment::new(&cs, 4);
+        let pk = keygen(&params, &cs, &asn);
+        let n = pk.vk.domain.n;
+        for r in 0..n {
+            assert_eq!(pk.sigma_values[0][r], pk.vk.domain.rotate_omega(r as i32));
+        }
+    }
+
+    #[test]
+    fn copies_create_cycles() {
+        let params = IpaParams::setup(4);
+        let mut cs = ConstraintSystem::<Fq>::new();
+        let a = cs.advice_column();
+        let b = cs.advice_column();
+        cs.enable_permutation(a);
+        cs.enable_permutation(b);
+        let mut asn = Assignment::new(&cs, 4);
+        asn.copy(Cell { column: a, row: 1 }, Cell { column: b, row: 2 });
+        // duplicate copies must not split the cycle
+        asn.copy(Cell { column: a, row: 1 }, Cell { column: b, row: 2 });
+        let pk = keygen(&params, &cs, &asn);
+        let k1 = VerifyingKey::coset_multiplier(0);
+        let k2 = VerifyingKey::coset_multiplier(1);
+        let w = pk.vk.domain.omega;
+        // two-cycle: sigma(a,1) = (b,2), sigma(b,2) = (a,1)
+        assert_eq!(pk.sigma_values[0][1], k2 * w.square());
+        assert_eq!(pk.sigma_values[1][2], k1 * w);
+        // untouched cell stays identity
+        assert_eq!(pk.sigma_values[0][3], k1 * w * w * w);
+    }
+
+    #[test]
+    fn lagrange_eval_matches_interpolation() {
+        let params = IpaParams::setup(3);
+        let mut cs = ConstraintSystem::<Fq>::new();
+        cs.advice_column();
+        let asn = Assignment::new(&cs, 3);
+        let pk = keygen(&params, &cs, &asn);
+        let domain = &pk.vk.domain;
+        let x = Fq::from_u64(0xabcdef);
+        for i in [0usize, 1, 5] {
+            let mut values = vec![Fq::ZERO; domain.n];
+            values[i] = Fq::ONE;
+            let expect = domain.eval_lagrange(&values, x);
+            assert_eq!(pk.vk.lagrange_eval(i, x), expect);
+        }
+        // l_active(x) is the sum of l_i for usable rows
+        let mut values = vec![Fq::ZERO; domain.n];
+        for v in values[..pk.vk.usable_rows].iter_mut() {
+            *v = Fq::ONE;
+        }
+        assert_eq!(pk.vk.l_active_eval(x), domain.eval_lagrange(&values, x));
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled for permutation")]
+    fn copy_on_unregistered_column_panics() {
+        let params = IpaParams::setup(3);
+        let mut cs = ConstraintSystem::<Fq>::new();
+        let a = cs.advice_column();
+        let b = cs.advice_column();
+        cs.enable_permutation(a);
+        let mut asn = Assignment::new(&cs, 3);
+        asn.copy(Cell { column: a, row: 0 }, Cell { column: b, row: 0 });
+        keygen(&params, &cs, &asn);
+    }
+
+    #[test]
+    fn column_helper() {
+        assert_eq!(Column::fixed(3).index, 3);
+    }
+}

@@ -1,0 +1,631 @@
+//! Proof generation (paper workflow step 4, Figure 2).
+//!
+//! The prover commits to the witness, builds the lookup/shuffle/permutation
+//! grand products, computes the quotient polynomial over the extended coset,
+//! and opens every committed polynomial at the evaluation challenge with
+//! batched IPA openings.
+
+use crate::circuit::{Assignment, PERMUTATION_CHUNK};
+use crate::eval::{
+    compress_rows, eval_extended, eval_rows, identity_coset, omega_powers, CosetSource,
+    RowSource,
+};
+use crate::keygen::{ProvingKey, VerifyingKey};
+use crate::proof::{claims_by_rotation, open_schedule, PolyId, Proof};
+use poneglyph_arith::{Fq, PrimeField};
+use poneglyph_curve::Pallas;
+use poneglyph_hash::Transcript;
+use poneglyph_pcs::IpaParams;
+use poneglyph_poly::Polynomial;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Errors surfaced during witness-dependent proving steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProveError {
+    /// A lookup input value does not appear in its table.
+    LookupValueMissing {
+        /// The lookup's diagnostic name.
+        lookup: String,
+        /// The offending row.
+        row: usize,
+    },
+    /// Copy constraints are inconsistent with the assigned values.
+    PermutationInconsistent,
+}
+
+impl std::fmt::Display for ProveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProveError::LookupValueMissing { lookup, row } => {
+                write!(f, "lookup '{lookup}': row {row} value not present in table")
+            }
+            ProveError::PermutationInconsistent => {
+                write!(f, "copy constraints violated by assignment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProveError {}
+
+/// Generate a proof for `asn` under `pk`.
+///
+/// The instance columns inside `asn` are the public inputs; the verifier
+/// must be given the same values.
+pub fn prove(
+    params: &IpaParams,
+    pk: &ProvingKey,
+    mut asn: Assignment<Fq>,
+    rng: &mut impl Rng,
+) -> Result<Proof, ProveError> {
+    let vk = &pk.vk;
+    let cs = &vk.cs;
+    let domain = &vk.domain;
+    let n = domain.n;
+    let u = vk.usable_rows;
+    assert_eq!(params.k, asn.k, "params/circuit size mismatch");
+
+    let mut transcript = Transcript::new(b"poneglyph-plonk");
+    vk.absorb_into(&mut transcript);
+    for col in &asn.instance {
+        let mut blob = Vec::with_capacity(u * 32);
+        for v in &col[..u] {
+            blob.extend_from_slice(&v.to_repr());
+        }
+        transcript.absorb_bytes(b"instance", &blob);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: commit to the (blinded) advice columns.
+    // ------------------------------------------------------------------
+    asn.blind(rng);
+    let advice_polys: Vec<Polynomial<Fq>> = asn
+        .advice
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let advice_blinds: Vec<Fq> = (0..advice_polys.len()).map(|_| Fq::random(rng)).collect();
+    let advice_commitments = Pallas::batch_to_affine(
+        &advice_polys
+            .iter()
+            .zip(&advice_blinds)
+            .map(|(p, b)| params.commit(&p.coeffs, *b))
+            .collect::<Vec<_>>(),
+    );
+    for c in &advice_commitments {
+        transcript.absorb_bytes(b"advice", &c.to_bytes());
+    }
+
+    let theta: Fq = transcript.challenge_nonzero(b"theta");
+
+    // ------------------------------------------------------------------
+    // Phase 2: lookup permuted columns A' and S' (paper §4.1, Figure 4).
+    // ------------------------------------------------------------------
+    let omega_pows = omega_powers(domain);
+    let row_src = RowSource {
+        fixed: &pk.fixed_values,
+        advice: &asn.advice,
+        instance: &asn.instance,
+        omega_pows: &omega_pows,
+    };
+
+    let mut lookup_inputs: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
+    let mut lookup_tables: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
+    let mut lookup_a_sorted: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
+    let mut lookup_s_matched: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
+    for lk in &cs.lookups {
+        let inputs: Vec<Vec<Fq>> = lk.input.iter().map(|e| eval_rows(e, &row_src, n)).collect();
+        let tables: Vec<Vec<Fq>> = lk.table.iter().map(|e| eval_rows(e, &row_src, n)).collect();
+        let a = compress_rows(&inputs, theta);
+        let s = compress_rows(&tables, theta);
+
+        // Sort the inputs so duplicates are adjacent (paper Eq. 1 layout).
+        let mut a_sorted: Vec<Fq> = a[..u].to_vec();
+        a_sorted.sort_unstable_by_key(|v| {
+            let mut r = v.to_repr();
+            r.reverse();
+            r
+        });
+        // Arrange S' so that whenever a new value starts in A', S' carries it.
+        let mut counts: HashMap<[u8; 32], usize> = HashMap::with_capacity(u);
+        for v in &s[..u] {
+            *counts.entry(v.to_repr()).or_insert(0) += 1;
+        }
+        let mut s_matched: Vec<Option<Fq>> = vec![None; u];
+        for i in 0..u {
+            if i == 0 || a_sorted[i] != a_sorted[i - 1] {
+                let slot = counts.get_mut(&a_sorted[i].to_repr());
+                match slot {
+                    Some(c) if *c > 0 => *c -= 1,
+                    _ => {
+                        return Err(ProveError::LookupValueMissing {
+                            lookup: lk.name.clone(),
+                            row: i,
+                        })
+                    }
+                }
+                s_matched[i] = Some(a_sorted[i]);
+            }
+        }
+        // Fill the remaining S' slots with the leftover table values.
+        let mut leftovers = s[..u].iter().filter(|v| {
+            let key = v.to_repr();
+            if let Some(c) = counts.get_mut(&key) {
+                if *c > 0 {
+                    *c -= 1;
+                    return true;
+                }
+            }
+            false
+        });
+        let mut s_final = Vec::with_capacity(n);
+        for slot in s_matched {
+            match slot {
+                Some(v) => s_final.push(v),
+                None => s_final.push(*leftovers.next().expect("table size equals input size")),
+            }
+        }
+        // Blinding region.
+        a_sorted.resize(n, Fq::ZERO);
+        s_final.resize(n, Fq::ZERO);
+        for i in u..n {
+            a_sorted[i] = Fq::random(rng);
+            s_final[i] = Fq::random(rng);
+        }
+        lookup_inputs.push(a);
+        lookup_tables.push(s);
+        lookup_a_sorted.push(a_sorted);
+        lookup_s_matched.push(s_final);
+    }
+    let lookup_a_polys: Vec<Polynomial<Fq>> = lookup_a_sorted
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let lookup_s_polys: Vec<Polynomial<Fq>> = lookup_s_matched
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let lookup_a_blinds: Vec<Fq> = (0..lookup_a_polys.len()).map(|_| Fq::random(rng)).collect();
+    let lookup_s_blinds: Vec<Fq> = (0..lookup_s_polys.len()).map(|_| Fq::random(rng)).collect();
+    let mut lookup_permuted = Vec::with_capacity(cs.lookups.len());
+    for i in 0..cs.lookups.len() {
+        let ca = params
+            .commit(&lookup_a_polys[i].coeffs, lookup_a_blinds[i])
+            .to_affine();
+        let cb = params
+            .commit(&lookup_s_polys[i].coeffs, lookup_s_blinds[i])
+            .to_affine();
+        transcript.absorb_bytes(b"lookup-a", &ca.to_bytes());
+        transcript.absorb_bytes(b"lookup-s", &cb.to_bytes());
+        lookup_permuted.push((ca, cb));
+    }
+
+    let beta: Fq = transcript.challenge_nonzero(b"beta");
+    let gamma: Fq = transcript.challenge_nonzero(b"gamma");
+
+    // ------------------------------------------------------------------
+    // Phase 3: grand products.
+    // ------------------------------------------------------------------
+    // Copy-constraint permutation (chunked).
+    let perm_cols = &cs.permutation_columns;
+    let chunks = cs.permutation_chunks();
+    let mut perm_z_values: Vec<Vec<Fq>> = Vec::with_capacity(chunks);
+    let mut carry = Fq::ONE;
+    for (j, chunk) in perm_cols.chunks(PERMUTATION_CHUNK).enumerate() {
+        let mut num = vec![Fq::ONE; u];
+        let mut den = vec![Fq::ONE; u];
+        for (ci, col) in chunk.iter().enumerate() {
+            let global_i = j * PERMUTATION_CHUNK + ci;
+            let k_i = VerifyingKey::coset_multiplier(global_i);
+            let values = match col.kind {
+                crate::expression::ColumnKind::Fixed => &pk.fixed_values[col.index],
+                crate::expression::ColumnKind::Advice => &asn.advice[col.index],
+                crate::expression::ColumnKind::Instance => &asn.instance[col.index],
+            };
+            let sigma = &pk.sigma_values[global_i];
+            for r in 0..u {
+                num[r] *= values[r] + beta * k_i * omega_pows[r] + gamma;
+                den[r] *= values[r] + beta * sigma[r] + gamma;
+            }
+        }
+        Fq::batch_invert(&mut den);
+        let mut z = vec![Fq::ZERO; n];
+        z[0] = carry;
+        for r in 0..u {
+            z[r + 1] = z[r] * num[r] * den[r];
+        }
+        carry = z[u];
+        for zi in z[u + 1..].iter_mut() {
+            *zi = Fq::random(rng);
+        }
+        perm_z_values.push(z);
+    }
+    if chunks > 0 && carry != Fq::ONE {
+        return Err(ProveError::PermutationInconsistent);
+    }
+
+    // Lookup grand products.
+    let mut lookup_z_values: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
+    for l in 0..cs.lookups.len() {
+        let a = &lookup_inputs[l];
+        let s = &lookup_tables[l];
+        let ap = &lookup_a_sorted[l];
+        let sp = &lookup_s_matched[l];
+        let mut den: Vec<Fq> = (0..u).map(|r| (ap[r] + beta) * (sp[r] + gamma)).collect();
+        Fq::batch_invert(&mut den);
+        let mut z = vec![Fq::ZERO; n];
+        z[0] = Fq::ONE;
+        for r in 0..u {
+            z[r + 1] = z[r] * (a[r] + beta) * (s[r] + gamma) * den[r];
+        }
+        debug_assert_eq!(z[u], Fq::ONE, "lookup product must close");
+        for zi in z[u + 1..].iter_mut() {
+            *zi = Fq::random(rng);
+        }
+        lookup_z_values.push(z);
+    }
+
+    // Shuffle grand products.
+    let mut shuffle_inputs: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
+    let mut shuffle_targets: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
+    let mut shuffle_z_values: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
+    for sh in &cs.shuffles {
+        let inputs: Vec<Vec<Fq>> = sh.input.iter().map(|e| eval_rows(e, &row_src, n)).collect();
+        let targets: Vec<Vec<Fq>> =
+            sh.target.iter().map(|e| eval_rows(e, &row_src, n)).collect();
+        let a = compress_rows(&inputs, theta);
+        let b = compress_rows(&targets, theta);
+        let mut den: Vec<Fq> = (0..u).map(|r| b[r] + gamma).collect();
+        Fq::batch_invert(&mut den);
+        let mut z = vec![Fq::ZERO; n];
+        z[0] = Fq::ONE;
+        for r in 0..u {
+            z[r + 1] = z[r] * (a[r] + gamma) * den[r];
+        }
+        debug_assert_eq!(z[u], Fq::ONE, "shuffle product must close");
+        for zi in z[u + 1..].iter_mut() {
+            *zi = Fq::random(rng);
+        }
+        shuffle_inputs.push(a);
+        shuffle_targets.push(b);
+        shuffle_z_values.push(z);
+    }
+
+    // Commit all Z polynomials.
+    let perm_z_polys: Vec<Polynomial<Fq>> = perm_z_values
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let lookup_z_polys: Vec<Polynomial<Fq>> = lookup_z_values
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let shuffle_z_polys: Vec<Polynomial<Fq>> = shuffle_z_values
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let perm_z_blinds: Vec<Fq> = (0..chunks).map(|_| Fq::random(rng)).collect();
+    let lookup_z_blinds: Vec<Fq> = (0..cs.lookups.len()).map(|_| Fq::random(rng)).collect();
+    let shuffle_z_blinds: Vec<Fq> = (0..cs.shuffles.len()).map(|_| Fq::random(rng)).collect();
+    let perm_z_comm = Pallas::batch_to_affine(
+        &perm_z_polys
+            .iter()
+            .zip(&perm_z_blinds)
+            .map(|(p, b)| params.commit(&p.coeffs, *b))
+            .collect::<Vec<_>>(),
+    );
+    let lookup_z_comm = Pallas::batch_to_affine(
+        &lookup_z_polys
+            .iter()
+            .zip(&lookup_z_blinds)
+            .map(|(p, b)| params.commit(&p.coeffs, *b))
+            .collect::<Vec<_>>(),
+    );
+    let shuffle_z_comm = Pallas::batch_to_affine(
+        &shuffle_z_polys
+            .iter()
+            .zip(&shuffle_z_blinds)
+            .map(|(p, b)| params.commit(&p.coeffs, *b))
+            .collect::<Vec<_>>(),
+    );
+    for c in &perm_z_comm {
+        transcript.absorb_bytes(b"perm-z", &c.to_bytes());
+    }
+    for c in &lookup_z_comm {
+        transcript.absorb_bytes(b"lookup-z", &c.to_bytes());
+    }
+    for c in &shuffle_z_comm {
+        transcript.absorb_bytes(b"shuffle-z", &c.to_bytes());
+    }
+
+    let y: Fq = transcript.challenge_nonzero(b"y");
+
+    // ------------------------------------------------------------------
+    // Phase 4: quotient polynomial over the extended coset.
+    // ------------------------------------------------------------------
+    let ext_n = domain.extended_n;
+    let ext_factor = ext_n / n;
+    let instance_polys: Vec<Polynomial<Fq>> = asn
+        .instance
+        .iter()
+        .map(|v| domain.lagrange_to_coeff(v.clone()))
+        .collect();
+    let advice_cosets: Vec<Vec<Fq>> = advice_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let instance_cosets: Vec<Vec<Fq>> = instance_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let id_coset = identity_coset(domain);
+    let coset_src = CosetSource {
+        fixed: &pk.fixed_cosets,
+        advice: &advice_cosets,
+        instance: &instance_cosets,
+        identity: &id_coset,
+        ext_factor,
+    };
+    let perm_z_cosets: Vec<Vec<Fq>> = perm_z_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let lookup_z_cosets: Vec<Vec<Fq>> = lookup_z_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let shuffle_z_cosets: Vec<Vec<Fq>> = shuffle_z_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let lookup_a_cosets: Vec<Vec<Fq>> = lookup_a_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let lookup_s_cosets: Vec<Vec<Fq>> = lookup_s_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+
+    let rot = |data: &[Fq], rows: i64| -> Vec<Fq> {
+        let shift = (rows * ext_factor as i64).rem_euclid(ext_n as i64) as usize;
+        (0..ext_n).map(|i| data[(i + shift) % ext_n]).collect()
+    };
+
+    let mut acc = vec![Fq::ZERO; ext_n];
+    let fold = |acc: &mut Vec<Fq>, term: &[Fq]| {
+        for (a, t) in acc.iter_mut().zip(term) {
+            *a = *a * y + *t;
+        }
+    };
+
+    // (a) custom gates, gated by the active-row indicator.
+    for gate in &cs.gates {
+        for poly in &gate.polys {
+            let mut term = eval_extended(poly, &coset_src, ext_n);
+            for (t, g) in term.iter_mut().zip(&pk.l_active_coset) {
+                *t *= *g;
+            }
+            fold(&mut acc, &term);
+        }
+    }
+
+    // (b) copy-constraint permutation.
+    let usable_rot = u as i64;
+    for j in 0..chunks {
+        let z = &perm_z_cosets[j];
+        if j == 0 {
+            let term: Vec<Fq> = (0..ext_n)
+                .map(|i| pk.l0_coset[i] * (z[i] - Fq::ONE))
+                .collect();
+            fold(&mut acc, &term);
+        } else {
+            let prev = rot(&perm_z_cosets[j - 1], usable_rot);
+            let term: Vec<Fq> = (0..ext_n)
+                .map(|i| pk.l0_coset[i] * (z[i] - prev[i]))
+                .collect();
+            fold(&mut acc, &term);
+        }
+        if j == chunks - 1 {
+            let term: Vec<Fq> = (0..ext_n)
+                .map(|i| pk.l_last_coset[i] * (z[i] - Fq::ONE))
+                .collect();
+            fold(&mut acc, &term);
+        }
+        // Running product.
+        let z_next = rot(z, 1);
+        let chunk = &perm_cols[j * PERMUTATION_CHUNK..(j * PERMUTATION_CHUNK + PERMUTATION_CHUNK).min(perm_cols.len())];
+        let mut num = vec![Fq::ONE; ext_n];
+        let mut den = vec![Fq::ONE; ext_n];
+        for (ci, col) in chunk.iter().enumerate() {
+            let global_i = j * PERMUTATION_CHUNK + ci;
+            let k_i = VerifyingKey::coset_multiplier(global_i);
+            let vals = match col.kind {
+                crate::expression::ColumnKind::Fixed => &pk.fixed_cosets[col.index],
+                crate::expression::ColumnKind::Advice => &advice_cosets[col.index],
+                crate::expression::ColumnKind::Instance => &instance_cosets[col.index],
+            };
+            let sigma = &pk.sigma_cosets[global_i];
+            for i in 0..ext_n {
+                num[i] *= vals[i] + beta * k_i * id_coset[i] + gamma;
+                den[i] *= vals[i] + beta * sigma[i] + gamma;
+            }
+        }
+        let term: Vec<Fq> = (0..ext_n)
+            .map(|i| pk.l_active_coset[i] * (z_next[i] * den[i] - z[i] * num[i]))
+            .collect();
+        fold(&mut acc, &term);
+    }
+
+    // (c) lookups.
+    for l in 0..cs.lookups.len() {
+        let z = &lookup_z_cosets[l];
+        let z_next = rot(z, 1);
+        let ap = &lookup_a_cosets[l];
+        let sp = &lookup_s_cosets[l];
+        let ap_prev = rot(ap, -1);
+        let inputs: Vec<Vec<Fq>> = cs.lookups[l]
+            .input
+            .iter()
+            .map(|e| eval_extended(e, &coset_src, ext_n))
+            .collect();
+        let tables: Vec<Vec<Fq>> = cs.lookups[l]
+            .table
+            .iter()
+            .map(|e| eval_extended(e, &coset_src, ext_n))
+            .collect();
+        let a_comp = compress_rows(&inputs, theta);
+        let s_comp = compress_rows(&tables, theta);
+
+        let t1: Vec<Fq> = (0..ext_n)
+            .map(|i| pk.l0_coset[i] * (z[i] - Fq::ONE))
+            .collect();
+        fold(&mut acc, &t1);
+        let t2: Vec<Fq> = (0..ext_n)
+            .map(|i| pk.l_last_coset[i] * (z[i] - Fq::ONE))
+            .collect();
+        fold(&mut acc, &t2);
+        let t3: Vec<Fq> = (0..ext_n)
+            .map(|i| {
+                pk.l_active_coset[i]
+                    * (z_next[i] * (ap[i] + beta) * (sp[i] + gamma)
+                        - z[i] * (a_comp[i] + beta) * (s_comp[i] + gamma))
+            })
+            .collect();
+        fold(&mut acc, &t3);
+        let t4: Vec<Fq> = (0..ext_n)
+            .map(|i| pk.l0_coset[i] * (ap[i] - sp[i]))
+            .collect();
+        fold(&mut acc, &t4);
+        let t5: Vec<Fq> = (0..ext_n)
+            .map(|i| pk.l_active_coset[i] * (ap[i] - sp[i]) * (ap[i] - ap_prev[i]))
+            .collect();
+        fold(&mut acc, &t5);
+    }
+
+    // (d) shuffles.
+    for s in 0..cs.shuffles.len() {
+        let z = &shuffle_z_cosets[s];
+        let z_next = rot(z, 1);
+        let inputs: Vec<Vec<Fq>> = cs.shuffles[s]
+            .input
+            .iter()
+            .map(|e| eval_extended(e, &coset_src, ext_n))
+            .collect();
+        let targets: Vec<Vec<Fq>> = cs.shuffles[s]
+            .target
+            .iter()
+            .map(|e| eval_extended(e, &coset_src, ext_n))
+            .collect();
+        let a_comp = compress_rows(&inputs, theta);
+        let b_comp = compress_rows(&targets, theta);
+        let t1: Vec<Fq> = (0..ext_n)
+            .map(|i| pk.l0_coset[i] * (z[i] - Fq::ONE))
+            .collect();
+        fold(&mut acc, &t1);
+        let t2: Vec<Fq> = (0..ext_n)
+            .map(|i| pk.l_last_coset[i] * (z[i] - Fq::ONE))
+            .collect();
+        fold(&mut acc, &t2);
+        let t3: Vec<Fq> = (0..ext_n)
+            .map(|i| {
+                pk.l_active_coset[i] * (z_next[i] * (b_comp[i] + gamma) - z[i] * (a_comp[i] + gamma))
+            })
+            .collect();
+        fold(&mut acc, &t3);
+    }
+
+    // Divide by the vanishing polynomial.
+    let vinv = domain.vanishing_inv_on_extended();
+    let period = vinv.len();
+    for (i, a) in acc.iter_mut().enumerate() {
+        *a *= vinv[i % period];
+    }
+    let h = domain.extended_to_coeff(acc);
+    let num_pieces = ext_factor - 1;
+    debug_assert!(
+        h.coeffs[num_pieces * n..].iter().all(|c| c.is_zero()),
+        "quotient degree exceeds budget — constraint degree accounting bug"
+    );
+    let h_piece_polys: Vec<Polynomial<Fq>> = (0..num_pieces)
+        .map(|j| Polynomial::from_coeffs(h.coeffs[j * n..(j + 1) * n].to_vec()))
+        .collect();
+    let h_blinds: Vec<Fq> = (0..num_pieces).map(|_| Fq::random(rng)).collect();
+    let h_comm = Pallas::batch_to_affine(
+        &h_piece_polys
+            .iter()
+            .zip(&h_blinds)
+            .map(|(p, b)| params.commit(&p.coeffs, *b))
+            .collect::<Vec<_>>(),
+    );
+    for c in &h_comm {
+        transcript.absorb_bytes(b"h", &c.to_bytes());
+    }
+
+    let x: Fq = transcript.challenge_nonzero(b"x");
+
+    // ------------------------------------------------------------------
+    // Phase 5: evaluations and batched openings.
+    // ------------------------------------------------------------------
+    let poly_of = |id: PolyId| -> (&Polynomial<Fq>, Fq) {
+        match id {
+            PolyId::Advice(i) => (&advice_polys[i], advice_blinds[i]),
+            PolyId::Fixed(i) => (&pk.fixed_polys[i], Fq::ZERO),
+            PolyId::Sigma(i) => (&pk.sigma_polys[i], Fq::ZERO),
+            PolyId::PermZ(j) => (&perm_z_polys[j], perm_z_blinds[j]),
+            PolyId::LookupA(l) => (&lookup_a_polys[l], lookup_a_blinds[l]),
+            PolyId::LookupS(l) => (&lookup_s_polys[l], lookup_s_blinds[l]),
+            PolyId::LookupZ(l) => (&lookup_z_polys[l], lookup_z_blinds[l]),
+            PolyId::ShuffleZ(s) => (&shuffle_z_polys[s], shuffle_z_blinds[s]),
+            PolyId::HPiece(j) => (&h_piece_polys[j], h_blinds[j]),
+        }
+    };
+
+    let schedule = open_schedule(cs, u as i32, num_pieces);
+    let mut evals = Vec::with_capacity(schedule.len());
+    for (id, r) in &schedule {
+        let point = domain.rotate_omega(*r) * x;
+        let (poly, _) = poly_of(*id);
+        let e = poly.eval(point);
+        transcript.absorb_scalar(b"eval", &e);
+        evals.push(e);
+    }
+
+    let v: Fq = transcript.challenge_nonzero(b"v");
+    let groups = claims_by_rotation(&schedule);
+    let mut openings = Vec::with_capacity(groups.len());
+    for (r, ids) in &groups {
+        let point = domain.rotate_omega(*r) * x;
+        let mut combined = vec![Fq::ZERO; n];
+        let mut combined_blind = Fq::ZERO;
+        let mut pow = Fq::ONE;
+        for id in ids {
+            let (poly, blind) = poly_of(*id);
+            for (c, p) in combined.iter_mut().zip(&poly.coeffs) {
+                *c += pow * *p;
+            }
+            combined_blind += pow * blind;
+            pow *= v;
+        }
+        openings.push(poneglyph_pcs::open(
+            params,
+            &mut transcript,
+            &combined,
+            combined_blind,
+            point,
+            rng,
+        ));
+    }
+
+    Ok(Proof {
+        advice_commitments,
+        lookup_permuted,
+        perm_z: perm_z_comm,
+        lookup_z: lookup_z_comm,
+        shuffle_z: shuffle_z_comm,
+        h_pieces: h_comm,
+        evals,
+        openings,
+    })
+}

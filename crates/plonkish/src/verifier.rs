@@ -1,0 +1,298 @@
+//! Proof verification (paper workflow step 5, Figure 2).
+//!
+//! The verifier replays the Fiat–Shamir transcript, recomputes the folded
+//! constraint value at the evaluation challenge from the claimed
+//! evaluations, checks it against the quotient commitment, and verifies the
+//! batched IPA openings.
+
+use crate::circuit::PERMUTATION_CHUNK;
+use crate::eval::eval_at_point;
+use crate::expression::{ColumnKind, Query};
+use crate::keygen::VerifyingKey;
+use crate::proof::{claims_by_rotation, eval_of, open_schedule, PolyId, Proof};
+use poneglyph_arith::{Fq, PrimeField};
+use poneglyph_curve::Pallas;
+use poneglyph_hash::Transcript;
+use poneglyph_pcs::IpaParams;
+use std::collections::BTreeMap;
+
+/// Verification failure reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The proof does not have the shape the circuit requires.
+    Malformed(&'static str),
+    /// The folded constraint identity does not hold at the challenge point.
+    QuotientViolation,
+    /// An IPA opening failed (rotation group index).
+    OpeningFailure(usize),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Malformed(what) => write!(f, "malformed proof: {what}"),
+            VerifyError::QuotientViolation => write!(f, "constraint system not satisfied"),
+            VerifyError::OpeningFailure(g) => write!(f, "IPA opening {g} failed"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify `proof` against public `instance` columns.
+pub fn verify(
+    params: &IpaParams,
+    vk: &VerifyingKey,
+    instance: &[Vec<Fq>],
+    proof: &Proof,
+) -> Result<(), VerifyError> {
+    let cs = &vk.cs;
+    let domain = &vk.domain;
+    let n = domain.n;
+    let u = vk.usable_rows;
+    let ext_factor = domain.extended_n / n;
+    let num_pieces = ext_factor - 1;
+    let chunks = cs.permutation_chunks();
+
+    // Structural checks.
+    if instance.len() != cs.num_instance {
+        return Err(VerifyError::Malformed("instance column count"));
+    }
+    if instance.iter().any(|c| c.len() > u) {
+        return Err(VerifyError::Malformed("instance column too long"));
+    }
+    if proof.advice_commitments.len() != cs.num_advice {
+        return Err(VerifyError::Malformed("advice commitment count"));
+    }
+    if proof.lookup_permuted.len() != cs.lookups.len() {
+        return Err(VerifyError::Malformed("lookup permuted count"));
+    }
+    if proof.perm_z.len() != chunks {
+        return Err(VerifyError::Malformed("permutation product count"));
+    }
+    if proof.lookup_z.len() != cs.lookups.len() {
+        return Err(VerifyError::Malformed("lookup product count"));
+    }
+    if proof.shuffle_z.len() != cs.shuffles.len() {
+        return Err(VerifyError::Malformed("shuffle product count"));
+    }
+    if proof.h_pieces.len() != num_pieces {
+        return Err(VerifyError::Malformed("quotient piece count"));
+    }
+    let schedule = open_schedule(cs, u as i32, num_pieces);
+    if proof.evals.len() != schedule.len() {
+        return Err(VerifyError::Malformed("evaluation count"));
+    }
+    let groups = claims_by_rotation(&schedule);
+    if proof.openings.len() != groups.len() {
+        return Err(VerifyError::Malformed("opening count"));
+    }
+
+    // Replay the transcript.
+    let mut transcript = Transcript::new(b"poneglyph-plonk");
+    vk.absorb_into(&mut transcript);
+    for col in 0..cs.num_instance {
+        let mut blob = Vec::with_capacity(u * 32);
+        for r in 0..u {
+            let v = instance[col].get(r).copied().unwrap_or(Fq::ZERO);
+            blob.extend_from_slice(&v.to_repr());
+        }
+        transcript.absorb_bytes(b"instance", &blob);
+    }
+    for c in &proof.advice_commitments {
+        transcript.absorb_bytes(b"advice", &c.to_bytes());
+    }
+    let theta: Fq = transcript.challenge_nonzero(b"theta");
+    for (a, s) in &proof.lookup_permuted {
+        transcript.absorb_bytes(b"lookup-a", &a.to_bytes());
+        transcript.absorb_bytes(b"lookup-s", &s.to_bytes());
+    }
+    let beta: Fq = transcript.challenge_nonzero(b"beta");
+    let gamma: Fq = transcript.challenge_nonzero(b"gamma");
+    for c in &proof.perm_z {
+        transcript.absorb_bytes(b"perm-z", &c.to_bytes());
+    }
+    for c in &proof.lookup_z {
+        transcript.absorb_bytes(b"lookup-z", &c.to_bytes());
+    }
+    for c in &proof.shuffle_z {
+        transcript.absorb_bytes(b"shuffle-z", &c.to_bytes());
+    }
+    let y: Fq = transcript.challenge_nonzero(b"y");
+    for c in &proof.h_pieces {
+        transcript.absorb_bytes(b"h", &c.to_bytes());
+    }
+    let x: Fq = transcript.challenge_nonzero(b"x");
+    for e in &proof.evals {
+        transcript.absorb_scalar(b"eval", e);
+    }
+
+    // Instance evaluations (barycentric over the padded public vector).
+    let mut instance_evals: BTreeMap<Query, Fq> = BTreeMap::new();
+    for q in crate::proof::instance_queries(cs) {
+        let mut padded = instance[q.column.index].clone();
+        padded.resize(n, Fq::ZERO);
+        let point = domain.rotate_omega(q.rotation.0) * x;
+        instance_evals.insert(q, domain.eval_lagrange(&padded, point));
+    }
+
+    let lookup_eval = |id: PolyId, r: i32| -> Result<Fq, VerifyError> {
+        eval_of(&schedule, &proof.evals, id, r)
+            .ok_or(VerifyError::Malformed("missing scheduled evaluation"))
+    };
+    let resolve = |q: Query| -> Fq {
+        match q.column.kind {
+            ColumnKind::Advice => {
+                eval_of(&schedule, &proof.evals, PolyId::Advice(q.column.index), q.rotation.0)
+                    .expect("advice query in schedule")
+            }
+            ColumnKind::Fixed => {
+                eval_of(&schedule, &proof.evals, PolyId::Fixed(q.column.index), q.rotation.0)
+                    .expect("fixed query in schedule")
+            }
+            ColumnKind::Instance => instance_evals[&q],
+        }
+    };
+
+    // Protocol indicator evaluations.
+    let l0 = vk.lagrange_eval(0, x);
+    let l_last = vk.lagrange_eval(u, x);
+    let l_active = vk.l_active_eval(x);
+
+    // Fold the constraint terms in canonical order.
+    let mut folded = Fq::ZERO;
+    let fold = |acc: &mut Fq, term: Fq| {
+        *acc = *acc * y + term;
+    };
+
+    // (a) gates.
+    for gate in &cs.gates {
+        for poly in &gate.polys {
+            fold(&mut folded, l_active * eval_at_point(poly, x, &resolve));
+        }
+    }
+
+    // (b) permutation.
+    for j in 0..chunks {
+        let z_x = lookup_eval(PolyId::PermZ(j), 0)?;
+        let z_wx = lookup_eval(PolyId::PermZ(j), 1)?;
+        if j == 0 {
+            fold(&mut folded, l0 * (z_x - Fq::ONE));
+        } else {
+            let prev = lookup_eval(PolyId::PermZ(j - 1), u as i32)?;
+            fold(&mut folded, l0 * (z_x - prev));
+        }
+        if j == chunks - 1 {
+            fold(&mut folded, l_last * (z_x - Fq::ONE));
+        }
+        let chunk = &cs.permutation_columns
+            [j * PERMUTATION_CHUNK..(j * PERMUTATION_CHUNK + PERMUTATION_CHUNK).min(cs.permutation_columns.len())];
+        let mut num = Fq::ONE;
+        let mut den = Fq::ONE;
+        for (ci, col) in chunk.iter().enumerate() {
+            let global_i = j * PERMUTATION_CHUNK + ci;
+            let k_i = VerifyingKey::coset_multiplier(global_i);
+            let val = resolve(Query {
+                column: *col,
+                rotation: crate::expression::Rotation::CUR,
+            });
+            let sigma = lookup_eval(PolyId::Sigma(global_i), 0)?;
+            num *= val + beta * k_i * x + gamma;
+            den *= val + beta * sigma + gamma;
+        }
+        fold(&mut folded, l_active * (z_wx * den - z_x * num));
+    }
+
+    // (c) lookups.
+    for l in 0..cs.lookups.len() {
+        let z_x = lookup_eval(PolyId::LookupZ(l), 0)?;
+        let z_wx = lookup_eval(PolyId::LookupZ(l), 1)?;
+        let ap = lookup_eval(PolyId::LookupA(l), 0)?;
+        let ap_prev = lookup_eval(PolyId::LookupA(l), -1)?;
+        let sp = lookup_eval(PolyId::LookupS(l), 0)?;
+        let mut a_comp = Fq::ZERO;
+        for e in &cs.lookups[l].input {
+            a_comp = a_comp * theta + eval_at_point(e, x, &resolve);
+        }
+        let mut s_comp = Fq::ZERO;
+        for e in &cs.lookups[l].table {
+            s_comp = s_comp * theta + eval_at_point(e, x, &resolve);
+        }
+        fold(&mut folded, l0 * (z_x - Fq::ONE));
+        fold(&mut folded, l_last * (z_x - Fq::ONE));
+        fold(
+            &mut folded,
+            l_active
+                * (z_wx * (ap + beta) * (sp + gamma) - z_x * (a_comp + beta) * (s_comp + gamma)),
+        );
+        fold(&mut folded, l0 * (ap - sp));
+        fold(&mut folded, l_active * (ap - sp) * (ap - ap_prev));
+    }
+
+    // (d) shuffles.
+    for s in 0..cs.shuffles.len() {
+        let z_x = lookup_eval(PolyId::ShuffleZ(s), 0)?;
+        let z_wx = lookup_eval(PolyId::ShuffleZ(s), 1)?;
+        let mut a_comp = Fq::ZERO;
+        for e in &cs.shuffles[s].input {
+            a_comp = a_comp * theta + eval_at_point(e, x, &resolve);
+        }
+        let mut b_comp = Fq::ZERO;
+        for e in &cs.shuffles[s].target {
+            b_comp = b_comp * theta + eval_at_point(e, x, &resolve);
+        }
+        fold(&mut folded, l0 * (z_x - Fq::ONE));
+        fold(&mut folded, l_last * (z_x - Fq::ONE));
+        fold(
+            &mut folded,
+            l_active * (z_wx * (b_comp + gamma) - z_x * (a_comp + gamma)),
+        );
+    }
+
+    // Quotient identity: folded == H(x)·(xⁿ − 1).
+    let xn = x.pow(&[n as u64, 0, 0, 0]);
+    let mut hx = Fq::ZERO;
+    for j in (0..num_pieces).rev() {
+        let piece = lookup_eval(PolyId::HPiece(j), 0)?;
+        hx = hx * xn + piece;
+    }
+    if folded != hx * (xn - Fq::ONE) {
+        return Err(VerifyError::QuotientViolation);
+    }
+
+    // Batched IPA openings.
+    let commitment_of = |id: PolyId| -> Pallas {
+        match id {
+            PolyId::Advice(i) => proof.advice_commitments[i].to_projective(),
+            PolyId::Fixed(i) => vk.fixed_commitments[i].to_projective(),
+            PolyId::Sigma(i) => vk.sigma_commitments[i].to_projective(),
+            PolyId::PermZ(j) => proof.perm_z[j].to_projective(),
+            PolyId::LookupA(l) => proof.lookup_permuted[l].0.to_projective(),
+            PolyId::LookupS(l) => proof.lookup_permuted[l].1.to_projective(),
+            PolyId::LookupZ(l) => proof.lookup_z[l].to_projective(),
+            PolyId::ShuffleZ(s) => proof.shuffle_z[s].to_projective(),
+            PolyId::HPiece(j) => proof.h_pieces[j].to_projective(),
+        }
+    };
+
+    let v: Fq = transcript.challenge_nonzero(b"v");
+    for (g, ((r, ids), opening)) in groups.iter().zip(&proof.openings).enumerate() {
+        let point = domain.rotate_omega(*r) * x;
+        let mut combined = Pallas::identity();
+        let mut combined_eval = Fq::ZERO;
+        let mut pow = Fq::ONE;
+        for id in ids {
+            combined = combined.add(&commitment_of(*id).mul(&pow));
+            let e = eval_of(&schedule, &proof.evals, *id, *r)
+                .ok_or(VerifyError::Malformed("missing group evaluation"))?;
+            combined_eval += pow * e;
+            pow *= v;
+        }
+        if !poneglyph_pcs::verify(params, &mut transcript, &combined, point, combined_eval, opening)
+        {
+            return Err(VerifyError::OpeningFailure(g));
+        }
+    }
+
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! In-place radix-2 Cooley–Tukey FFT over a prime field with high 2-adicity.
+
+use poneglyph_arith::PrimeField;
+
+/// Bit-reversal permutation of `a` (length must be a power of two).
+fn bit_reverse<F>(a: &mut [F]) {
+    let n = a.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() as usize >> (64 - bits);
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+}
+
+/// In-place forward FFT: interprets `a` as coefficients and replaces it with
+/// evaluations at successive powers of `omega` (an `n`-th root of unity).
+pub fn fft<F: PrimeField>(a: &mut [F], omega: F) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n == 1 {
+        return;
+    }
+    bit_reverse(a);
+
+    // Precompute twiddles for the largest stage once; every smaller stage
+    // strides through them.
+    let half = n / 2;
+    let mut twiddles = Vec::with_capacity(half);
+    let mut t = F::ONE;
+    for _ in 0..half {
+        twiddles.push(t);
+        t *= omega;
+    }
+
+    let mut len = 2;
+    while len <= n {
+        let stride = n / len;
+        for start in (0..n).step_by(len) {
+            for i in 0..len / 2 {
+                let w = twiddles[i * stride];
+                let u = a[start + i];
+                let v = a[start + i + len / 2] * w;
+                a[start + i] = u + v;
+                a[start + i + len / 2] = u - v;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse FFT (requires `omega_inv` and `1/n`).
+pub fn ifft<F: PrimeField>(a: &mut [F], omega_inv: F, n_inv: F) {
+    fft(a, omega_inv);
+    for v in a.iter_mut() {
+        *v *= n_inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poneglyph_arith::Fq;
+
+    fn domain(k: u32) -> (Fq, Fq, Fq) {
+        let n = 1u64 << k;
+        let mut omega = Fq::root_of_unity();
+        for _ in k..Fq::TWO_ADICITY {
+            omega = omega.square();
+        }
+        let omega_inv = omega.invert().unwrap();
+        let n_inv = Fq::from_u64(n).invert().unwrap();
+        (omega, omega_inv, n_inv)
+    }
+
+    #[test]
+    fn fft_matches_naive_evaluation() {
+        let k = 4;
+        let n = 1usize << k;
+        let (omega, _, _) = domain(k);
+        let coeffs: Vec<Fq> = (0..n as u64).map(|i| Fq::from_u64(i * i + 1)).collect();
+        let mut evals = coeffs.clone();
+        fft(&mut evals, omega);
+        // naive Horner at each ω^i
+        let mut x = Fq::ONE;
+        for e in &evals {
+            let mut acc = Fq::ZERO;
+            for c in coeffs.iter().rev() {
+                acc = acc * x + *c;
+            }
+            assert_eq!(*e, acc);
+            x *= omega;
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for k in [1u32, 3, 6, 10] {
+            let n = 1usize << k;
+            let (omega, omega_inv, n_inv) = domain(k);
+            let coeffs: Vec<Fq> = (0..n as u64).map(|i| Fq::from_u64(i.wrapping_mul(0x9e37) ^ 0x123)).collect();
+            let mut work = coeffs.clone();
+            fft(&mut work, omega);
+            ifft(&mut work, omega_inv, n_inv);
+            assert_eq!(work, coeffs, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! The in-memory query executor.
+//!
+//! Besides producing the query answer, the executor records the input and
+//! output table of *every* operator — this trace is exactly the witness the
+//! circuit compiler needs to lay out the paper's gates (the prover "assigns
+//! values to all circuit variables based on the actual data", §3.4).
+
+use crate::plan::{AggFunc, Plan};
+use crate::types::{Database, Schema, Table};
+use std::collections::BTreeMap;
+
+/// An executed plan node: the operator, its children, and its output.
+#[derive(Clone, Debug)]
+pub struct Executed {
+    /// The plan node (children elided — see `children`).
+    pub plan: Plan,
+    /// Executed children (same arity as the plan node).
+    pub children: Vec<Executed>,
+    /// The operator's output table.
+    pub output: Table,
+}
+
+impl Executed {
+    /// Total number of operator nodes.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// The largest intermediate cardinality in the tree.
+    pub fn max_rows(&self) -> usize {
+        self.output
+            .len()
+            .max(self.children.iter().map(|c| c.max_rows()).max().unwrap_or(0))
+    }
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Unknown base table.
+    UnknownTable(String),
+    /// The right side of a PK–FK join had duplicate keys.
+    NonUniqueJoinKey(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ExecError::NonUniqueJoinKey(d) => write!(f, "join PK side not unique: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute a plan, returning the full operator trace.
+pub fn execute(db: &Database, plan: &Plan) -> Result<Executed, ExecError> {
+    let lookup = |name: &str| -> Schema {
+        db.table(name)
+            .map(|t| t.schema.clone())
+            .unwrap_or_default()
+    };
+    match plan {
+        Plan::Scan { table } => {
+            let t = db
+                .table(table)
+                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+            Ok(Executed {
+                plan: plan.clone(),
+                children: vec![],
+                output: t.clone(),
+            })
+        }
+        Plan::Filter { input, predicates } => {
+            let child = execute(db, input)?;
+            let t = &child.output;
+            let mask: Vec<bool> = (0..t.len())
+                .map(|r| {
+                    let row = t.row(r);
+                    predicates.iter().all(|p| p.eval(&row))
+                })
+                .collect();
+            let output = t.filter_rows(&mask);
+            Ok(Executed {
+                plan: plan.clone(),
+                children: vec![child],
+                output,
+            })
+        }
+        Plan::Project { input, exprs } => {
+            let child = execute(db, input)?;
+            let t = &child.output;
+            let schema = plan.schema(&lookup);
+            let mut output = Table::empty(schema);
+            for r in 0..t.len() {
+                let row = t.row(r);
+                let new_row: Vec<i64> = exprs.iter().map(|(_, e)| e.eval(&row)).collect();
+                output.push_row(&new_row);
+            }
+            Ok(Executed {
+                plan: plan.clone(),
+                children: vec![child],
+                output,
+            })
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let lchild = execute(db, left)?;
+            let rchild = execute(db, right)?;
+            let lt = &lchild.output;
+            let rt = &rchild.output;
+            let mut index: BTreeMap<i64, usize> = BTreeMap::new();
+            for r in 0..rt.len() {
+                let k = rt.cols[*right_key][r];
+                if index.insert(k, r).is_some() {
+                    return Err(ExecError::NonUniqueJoinKey(format!("key {k}")));
+                }
+            }
+            let schema = plan.schema(&lookup);
+            let mut output = Table::empty(schema);
+            for r in 0..lt.len() {
+                let k = lt.cols[*left_key][r];
+                if let Some(&rr) = index.get(&k) {
+                    let mut row = lt.row(r);
+                    row.extend(rt.row(rr));
+                    output.push_row(&row);
+                }
+            }
+            Ok(Executed {
+                plan: plan.clone(),
+                children: vec![lchild, rchild],
+                output,
+            })
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let child = execute(db, input)?;
+            let t = &child.output;
+            // BTreeMap gives deterministic (key-ordered) group output.
+            let mut groups: BTreeMap<Vec<i64>, Vec<usize>> = BTreeMap::new();
+            for r in 0..t.len() {
+                let key: Vec<i64> = group_by.iter().map(|g| t.cols[*g][r]).collect();
+                groups.entry(key).or_default().push(r);
+            }
+            // A global aggregate over an empty input still produces no rows
+            // (our subset has no NULL semantics to represent empty sums).
+            let schema = plan.schema(&lookup);
+            let mut output = Table::empty(schema);
+            for (key, rows) in groups {
+                let mut out_row = key.clone();
+                for (_, agg) in aggs {
+                    let values: Vec<i64> = rows
+                        .iter()
+                        .map(|r| agg.input.eval(&t.row(*r)))
+                        .collect();
+                    let v = match agg.func {
+                        AggFunc::Sum => values.iter().sum(),
+                        AggFunc::Count => values.len() as i64,
+                        AggFunc::Avg => {
+                            let s: i64 = values.iter().sum();
+                            s / values.len() as i64
+                        }
+                        AggFunc::Min => *values.iter().min().expect("nonempty group"),
+                        AggFunc::Max => *values.iter().max().expect("nonempty group"),
+                    };
+                    out_row.push(v);
+                }
+                output.push_row(&out_row);
+            }
+            Ok(Executed {
+                plan: plan.clone(),
+                children: vec![child],
+                output,
+            })
+        }
+        Plan::Sort { input, keys } => {
+            let child = execute(db, input)?;
+            let t = &child.output;
+            let mut order: Vec<usize> = (0..t.len()).collect();
+            order.sort_by(|&a, &b| {
+                for (col, desc) in keys {
+                    let (va, vb) = (t.cols[*col][a], t.cols[*col][b]);
+                    let ord = va.cmp(&vb);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.cmp(&b) // stable tie-break
+            });
+            let mut output = Table::empty(t.schema.clone());
+            for r in order {
+                output.push_row(&t.row(r));
+            }
+            Ok(Executed {
+                plan: plan.clone(),
+                children: vec![child],
+                output,
+            })
+        }
+        Plan::Limit { input, n } => {
+            let child = execute(db, input)?;
+            let t = &child.output;
+            let mut output = Table::empty(t.schema.clone());
+            for r in 0..t.len().min(*n) {
+                output.push_row(&t.row(r));
+            }
+            Ok(Executed {
+                plan: plan.clone(),
+                children: vec![child],
+                output,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Aggregate, CmpOp, Predicate, ScalarExpr};
+    use crate::types::{ColumnType, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut t = Table::empty(Schema::new(&[
+            ("id", ColumnType::Int),
+            ("grp", ColumnType::Int),
+            ("val", ColumnType::Int),
+        ]));
+        for (id, grp, val) in [(1, 1, 10), (2, 2, 20), (3, 1, 30), (4, 2, 40), (5, 1, 50)] {
+            t.push_row(&[id, grp, val]);
+        }
+        db.add_table("t", t);
+        let mut d = Table::empty(Schema::new(&[
+            ("grp_id", ColumnType::Int),
+            ("name", ColumnType::Int),
+        ]));
+        d.push_row(&[1, 100]);
+        d.push_row(&[2, 200]);
+        db.add_table("dim", d);
+        db
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let db = db();
+        let plan = Plan::Project {
+            input: Box::new(Plan::Filter {
+                input: Box::new(Plan::Scan {
+                    table: "t".to_string(),
+                }),
+                predicates: vec![Predicate::ColConst {
+                    col: 2,
+                    op: CmpOp::Ge,
+                    value: 30,
+                }],
+            }),
+            exprs: vec![
+                ("id".into(), ScalarExpr::Col(0)),
+                (
+                    "double_val".into(),
+                    ScalarExpr::Mul(Box::new(ScalarExpr::Col(2)), Box::new(ScalarExpr::Const(2))),
+                ),
+            ],
+        };
+        let out = execute(&db, &plan).unwrap().output;
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.cols[1], vec![60, 80, 100]);
+    }
+
+    #[test]
+    fn join_aggregate_sort() {
+        let db = db();
+        let plan = Plan::Sort {
+            input: Box::new(Plan::Aggregate {
+                input: Box::new(Plan::Join {
+                    left: Box::new(Plan::Scan {
+                        table: "t".to_string(),
+                    }),
+                    right: Box::new(Plan::Scan {
+                        table: "dim".to_string(),
+                    }),
+                    left_key: 1,
+                    right_key: 0,
+                }),
+                group_by: vec![4], // dim.name
+                aggs: vec![
+                    (
+                        "total".into(),
+                        Aggregate {
+                            func: AggFunc::Sum,
+                            input: ScalarExpr::Col(2),
+                        },
+                    ),
+                    (
+                        "cnt".into(),
+                        Aggregate {
+                            func: AggFunc::Count,
+                            input: ScalarExpr::Const(1),
+                        },
+                    ),
+                ],
+            }),
+            keys: vec![(1, true)],
+        };
+        let exec = execute(&db, &plan).unwrap();
+        let out = &exec.output;
+        // group 100 (grp 1): 10+30+50=90 cnt 3; group 200: 60 cnt 2
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.row(0), vec![100, 90, 3]);
+        assert_eq!(out.row(1), vec![200, 60, 2]);
+        assert_eq!(exec.node_count(), 5);
+        assert!(exec.max_rows() >= 5);
+    }
+
+    #[test]
+    fn limit_and_avg_min_max() {
+        let db = db();
+        let plan = Plan::Limit {
+            input: Box::new(Plan::Aggregate {
+                input: Box::new(Plan::Scan {
+                    table: "t".to_string(),
+                }),
+                group_by: vec![1],
+                aggs: vec![
+                    (
+                        "avg".into(),
+                        Aggregate {
+                            func: AggFunc::Avg,
+                            input: ScalarExpr::Col(2),
+                        },
+                    ),
+                    (
+                        "min".into(),
+                        Aggregate {
+                            func: AggFunc::Min,
+                            input: ScalarExpr::Col(2),
+                        },
+                    ),
+                    (
+                        "max".into(),
+                        Aggregate {
+                            func: AggFunc::Max,
+                            input: ScalarExpr::Col(2),
+                        },
+                    ),
+                ],
+            }),
+            n: 1,
+        };
+        let out = execute(&db, &plan).unwrap().output;
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), vec![1, 30, 10, 50]);
+    }
+
+    #[test]
+    fn join_pk_uniqueness_enforced() {
+        let mut db = db();
+        let mut bad = db.table("dim").unwrap().clone();
+        bad.push_row(&[1, 300]);
+        db.add_table("dim", bad);
+        let plan = Plan::Join {
+            left: Box::new(Plan::Scan {
+                table: "t".to_string(),
+            }),
+            right: Box::new(Plan::Scan {
+                table: "dim".to_string(),
+            }),
+            left_key: 1,
+            right_key: 0,
+        };
+        assert!(matches!(
+            execute(&db, &plan),
+            Err(ExecError::NonUniqueJoinKey(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = db();
+        let plan = Plan::Scan {
+            table: "missing".to_string(),
+        };
+        assert!(matches!(
+            execute(&db, &plan),
+            Err(ExecError::UnknownTable(_))
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! SQL tokenizer.
+
+/// A SQL token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords, original-case idents).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`, `)`, `,`, `.`, `;`
+    Punct(char),
+    /// Comparison and arithmetic operators.
+    Op(String),
+}
+
+/// Tokenize a SQL string. Errors on unknown characters or unterminated
+/// literals.
+pub fn lex(sql: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            // decimal literal like 0.06: scale by 100 (cents) per the
+            // paper's integer conversion.
+            if i < chars.len() && chars[i] == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()
+            {
+                let int_part: i64 = chars[start..i]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|e| format!("bad number: {e}"))?;
+                i += 1;
+                let fstart = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let frac_str: String = chars[fstart..i].iter().collect();
+                let frac2 = format!("{:0<2}", frac_str);
+                let frac: i64 = frac2[..2].parse().map_err(|e| format!("bad number: {e}"))?;
+                out.push(Token::Number(int_part * 100 + frac));
+            } else {
+                let v: i64 = chars[start..i]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|e| format!("bad number: {e}"))?;
+                out.push(Token::Number(v));
+            }
+        } else if c == '\'' {
+            i += 1;
+            let start = i;
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err("unterminated string literal".to_string());
+            }
+            out.push(Token::Str(chars[start..i].iter().collect()));
+            i += 1;
+        } else if "(),.;".contains(c) {
+            out.push(Token::Punct(c));
+            i += 1;
+        } else if "<>=!+-*/".contains(c) {
+            let mut op = c.to_string();
+            if (c == '<' && i + 1 < chars.len() && (chars[i + 1] == '=' || chars[i + 1] == '>'))
+                || (c == '>' && i + 1 < chars.len() && chars[i + 1] == '=')
+                || (c == '!' && i + 1 < chars.len() && chars[i + 1] == '=')
+            {
+                op.push(chars[i + 1]);
+                i += 1;
+            }
+            out.push(Token::Op(op));
+            i += 1;
+        } else {
+            return Err(format!("unexpected character '{c}'"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT a, b FROM t WHERE x <= 10 AND y = 'abc'").unwrap();
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::Op("<=".into())));
+        assert!(toks.contains(&Token::Number(10)));
+        assert!(toks.contains(&Token::Str("abc".into())));
+    }
+
+    #[test]
+    fn decimals_scale_to_cents() {
+        let toks = lex("0.06 24 1.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Number(6), Token::Number(24), Token::Number(150)]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a # b").is_err());
+    }
+}

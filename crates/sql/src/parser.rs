@@ -1,0 +1,500 @@
+//! Recursive-descent parser for the SQL subset PoneglyphDB proves:
+//! single-block `SELECT … FROM … WHERE … GROUP BY … HAVING … ORDER BY …
+//! LIMIT`, with arithmetic, aggregates, `CASE WHEN col = v`, `EXTRACT(YEAR
+//! FROM …)`, date/interval literals and `BETWEEN`.
+
+use crate::lexer::{lex, Token};
+use crate::plan::{epoch_days, AggFunc, CmpOp};
+
+/// A column reference, optionally qualified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColRef {
+    /// Optional table qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// Parsed expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstExpr {
+    /// Column reference.
+    Col(ColRef),
+    /// Integer literal (decimals already scaled ×100 by the lexer).
+    Number(i64),
+    /// String literal.
+    Str(String),
+    /// Arithmetic.
+    Add(Box<AstExpr>, Box<AstExpr>),
+    /// Subtraction.
+    Sub(Box<AstExpr>, Box<AstExpr>),
+    /// Multiplication.
+    Mul(Box<AstExpr>, Box<AstExpr>),
+    /// Division.
+    Div(Box<AstExpr>, Box<AstExpr>),
+    /// Aggregate call.
+    Agg(AggFunc, Box<AstExpr>),
+    /// `CASE WHEN col = lit THEN a ELSE b END`.
+    CaseEq {
+        /// Tested column.
+        col: ColRef,
+        /// Literal compared against.
+        lit: Box<AstExpr>,
+        /// THEN branch.
+        then: Box<AstExpr>,
+        /// ELSE branch.
+        otherwise: Box<AstExpr>,
+    },
+    /// `EXTRACT(YEAR FROM e)`.
+    ExtractYear(Box<AstExpr>),
+}
+
+/// One predicate of a conjunction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstPredicate {
+    /// Left side.
+    pub left: AstExpr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right side.
+    pub right: AstExpr,
+}
+
+/// A select item with optional alias.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// Optional `AS` alias.
+    pub alias: Option<String>,
+}
+
+/// A parsed single-block query.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables, in order.
+    pub from: Vec<String>,
+    /// WHERE conjunction.
+    pub where_: Vec<AstPredicate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColRef>,
+    /// HAVING conjunction.
+    pub having: Vec<AstPredicate>,
+    /// ORDER BY (name-or-alias, descending).
+    pub order_by: Vec<(String, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+    fn kw(&mut self, word: &str) -> bool {
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(word) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+    fn expect_kw(&mut self, word: &str) -> Result<(), String> {
+        if self.kw(word) {
+            Ok(())
+        } else {
+            Err(format!("expected {word}, found {:?}", self.peek()))
+        }
+    }
+    fn punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(p)) if *p == c) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+    fn expect_punct(&mut self, c: char) -> Result<(), String> {
+        if self.punct(c) {
+            Ok(())
+        } else {
+            Err(format!("expected '{c}', found {:?}", self.peek()))
+        }
+    }
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn colref(&mut self, first: String) -> ColRef {
+        if self.punct('.') {
+            let col = self.ident().expect("column after '.'");
+            ColRef {
+                table: Some(first),
+                column: col,
+            }
+        } else {
+            ColRef {
+                table: None,
+                column: first,
+            }
+        }
+    }
+
+    fn date_literal(&mut self) -> Result<i64, String> {
+        // DATE 'yyyy-mm-dd'
+        let s = match self.next() {
+            Some(Token::Str(s)) => s,
+            other => return Err(format!("expected date string, found {other:?}")),
+        };
+        let parts: Vec<&str> = s.split('-').collect();
+        if parts.len() != 3 {
+            return Err(format!("bad date literal '{s}'"));
+        }
+        let y: i64 = parts[0].parse().map_err(|_| "bad year")?;
+        let m: i64 = parts[1].parse().map_err(|_| "bad month")?;
+        let d: i64 = parts[2].parse().map_err(|_| "bad day")?;
+        Ok(epoch_days(y, m, d))
+    }
+
+    fn interval_literal(&mut self) -> Result<i64, String> {
+        // INTERVAL 'n' DAY | MONTH | YEAR (months/years approximated on
+        // date arithmetic by exact day math at plan time is not possible, so
+        // we only support DAY plus literal-folding for MONTH/YEAR on dates)
+        let n = match self.next() {
+            Some(Token::Str(s)) => s.parse::<i64>().map_err(|_| "bad interval")?,
+            Some(Token::Number(v)) => v,
+            other => return Err(format!("expected interval count, found {other:?}")),
+        };
+        if self.kw("DAY") {
+            Ok(n)
+        } else if self.kw("MONTH") {
+            Ok(n * 30)
+        } else if self.kw("YEAR") {
+            Ok(n * 365)
+        } else {
+            Err("expected DAY/MONTH/YEAR".to_string())
+        }
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, String> {
+        if self.punct('(') {
+            let e = self.expr()?;
+            self.expect_punct(')')?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Token::Number(v)) => Ok(AstExpr::Number(v)),
+            Some(Token::Str(s)) => Ok(AstExpr::Str(s)),
+            Some(Token::Ident(w)) => {
+                let upper = w.to_ascii_uppercase();
+                match upper.as_str() {
+                    "DATE" => {
+                        let mut days = self.date_literal()?;
+                        // fold DATE ± INTERVAL
+                        loop {
+                            if matches!(self.peek(), Some(Token::Op(o)) if o == "+") {
+                                self.pos += 1;
+                                self.expect_kw("INTERVAL")?;
+                                days += self.interval_literal()?;
+                            } else if matches!(self.peek(), Some(Token::Op(o)) if o == "-")
+                                && matches!(self.toks.get(self.pos + 1), Some(Token::Ident(k)) if k.eq_ignore_ascii_case("INTERVAL"))
+                            {
+                                self.pos += 1;
+                                self.expect_kw("INTERVAL")?;
+                                days -= self.interval_literal()?;
+                            } else {
+                                break;
+                            }
+                        }
+                        Ok(AstExpr::Number(days))
+                    }
+                    "SUM" | "COUNT" | "AVG" | "MIN" | "MAX" => {
+                        let func = match upper.as_str() {
+                            "SUM" => AggFunc::Sum,
+                            "COUNT" => AggFunc::Count,
+                            "AVG" => AggFunc::Avg,
+                            "MIN" => AggFunc::Min,
+                            _ => AggFunc::Max,
+                        };
+                        self.expect_punct('(')?;
+                        let inner = if matches!(self.peek(), Some(Token::Op(o)) if o == "*") {
+                            self.pos += 1;
+                            AstExpr::Number(1)
+                        } else {
+                            self.expr()?
+                        };
+                        self.expect_punct(')')?;
+                        Ok(AstExpr::Agg(func, Box::new(inner)))
+                    }
+                    "CASE" => {
+                        self.expect_kw("WHEN")?;
+                        let first = self.ident()?;
+                        let col = self.colref(first);
+                        match self.next() {
+                            Some(Token::Op(o)) if o == "=" => {}
+                            other => return Err(format!("CASE expects '=', got {other:?}")),
+                        }
+                        let lit = self.primary()?;
+                        self.expect_kw("THEN")?;
+                        let then = self.expr()?;
+                        self.expect_kw("ELSE")?;
+                        let otherwise = self.expr()?;
+                        self.expect_kw("END")?;
+                        Ok(AstExpr::CaseEq {
+                            col,
+                            lit: Box::new(lit),
+                            then: Box::new(then),
+                            otherwise: Box::new(otherwise),
+                        })
+                    }
+                    "EXTRACT" => {
+                        self.expect_punct('(')?;
+                        self.expect_kw("YEAR")?;
+                        self.expect_kw("FROM")?;
+                        let inner = self.expr()?;
+                        self.expect_punct(')')?;
+                        Ok(AstExpr::ExtractYear(Box::new(inner)))
+                    }
+                    _ => Ok(AstExpr::Col(self.colref(w))),
+                }
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+
+    fn muldiv(&mut self) -> Result<AstExpr, String> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Op(o)) if o == "*" || o == "/" => o.clone(),
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.primary()?;
+            lhs = if op == "*" {
+                AstExpr::Mul(Box::new(lhs), Box::new(rhs))
+            } else {
+                AstExpr::Div(Box::new(lhs), Box::new(rhs))
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn expr(&mut self) -> Result<AstExpr, String> {
+        let mut lhs = self.muldiv()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Op(o)) if o == "+" || o == "-" => o.clone(),
+                _ => break,
+            };
+            // don't swallow "- interval" here (handled in date literal)
+            self.pos += 1;
+            let rhs = self.muldiv()?;
+            lhs = if op == "+" {
+                AstExpr::Add(Box::new(lhs), Box::new(rhs))
+            } else {
+                AstExpr::Sub(Box::new(lhs), Box::new(rhs))
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, String> {
+        match self.next() {
+            Some(Token::Op(o)) => match o.as_str() {
+                "=" => Ok(CmpOp::Eq),
+                "<" => Ok(CmpOp::Lt),
+                "<=" => Ok(CmpOp::Le),
+                ">" => Ok(CmpOp::Gt),
+                ">=" => Ok(CmpOp::Ge),
+                "<>" | "!=" => Ok(CmpOp::Ne),
+                other => Err(format!("unknown comparison '{other}'")),
+            },
+            other => Err(format!("expected comparison, found {other:?}")),
+        }
+    }
+
+    fn predicates(&mut self) -> Result<Vec<AstPredicate>, String> {
+        let mut out = Vec::new();
+        loop {
+            let left = self.expr()?;
+            if self.kw("BETWEEN") {
+                let lo = self.expr()?;
+                self.expect_kw("AND")?;
+                let hi = self.expr()?;
+                out.push(AstPredicate {
+                    left: left.clone(),
+                    op: CmpOp::Ge,
+                    right: lo,
+                });
+                out.push(AstPredicate {
+                    left,
+                    op: CmpOp::Le,
+                    right: hi,
+                });
+            } else {
+                let op = self.cmp_op()?;
+                let right = self.expr()?;
+                out.push(AstPredicate { left, op, right });
+            }
+            if !self.kw("AND") {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Parse a SQL string into a [`SelectStmt`].
+pub fn parse(sql: &str) -> Result<SelectStmt, String> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.expect_kw("SELECT")?;
+    let mut stmt = SelectStmt::default();
+    loop {
+        let expr = p.expr()?;
+        let alias = if p.kw("AS") { Some(p.ident()?) } else { None };
+        stmt.items.push(SelectItem { expr, alias });
+        if !p.punct(',') {
+            break;
+        }
+    }
+    p.expect_kw("FROM")?;
+    loop {
+        stmt.from.push(p.ident()?);
+        if !p.punct(',') {
+            break;
+        }
+    }
+    if p.kw("WHERE") {
+        stmt.where_ = p.predicates()?;
+    }
+    if p.kw("GROUP") {
+        p.expect_kw("BY")?;
+        loop {
+            let first = p.ident()?;
+            stmt.group_by.push(p.colref(first));
+            if !p.punct(',') {
+                break;
+            }
+        }
+    }
+    if p.kw("HAVING") {
+        stmt.having = p.predicates()?;
+    }
+    if p.kw("ORDER") {
+        p.expect_kw("BY")?;
+        loop {
+            let name = p.ident()?;
+            // allow qualified names; normalize to the bare column
+            let name = if p.punct('.') { p.ident()? } else { name };
+            let desc = if p.kw("DESC") {
+                true
+            } else {
+                p.kw("ASC");
+                false
+            };
+            stmt.order_by.push((name, desc));
+            if !p.punct(',') {
+                break;
+            }
+        }
+    }
+    if p.kw("LIMIT") {
+        match p.next() {
+            Some(Token::Number(v)) if v >= 0 => stmt.limit = Some(v as usize),
+            other => return Err(format!("expected LIMIT count, found {other:?}")),
+        }
+    }
+    p.punct(';');
+    if p.pos != p.toks.len() {
+        return Err(format!("trailing tokens at {:?}", p.peek()));
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_query() {
+        let q = parse("SELECT a, SUM(b) AS total FROM t WHERE a < 10 GROUP BY a ORDER BY total DESC LIMIT 5").unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.items[1].alias.as_deref(), Some("total"));
+        assert_eq!(q.from, vec!["t"]);
+        assert_eq!(q.where_.len(), 1);
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by, vec![("total".to_string(), true)]);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_dates_and_intervals() {
+        let q = parse("SELECT a FROM t WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY").unwrap();
+        match &q.where_[0].right {
+            AstExpr::Number(n) => {
+                assert_eq!(*n, epoch_days(1998, 12, 1) - 90);
+            }
+            other => panic!("expected folded date, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_between_as_two_preds() {
+        let q = parse("SELECT a FROM t WHERE d BETWEEN 5 AND 10").unwrap();
+        assert_eq!(q.where_.len(), 2);
+        assert_eq!(q.where_[0].op, CmpOp::Ge);
+        assert_eq!(q.where_[1].op, CmpOp::Le);
+    }
+
+    #[test]
+    fn parses_case_and_extract() {
+        let q = parse(
+            "SELECT SUM(CASE WHEN n = 'BRAZIL' THEN v ELSE 0 END), EXTRACT(YEAR FROM d) AS y FROM t GROUP BY y",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.items[0].expr,
+            AstExpr::Agg(AggFunc::Sum, _)
+        ));
+        assert!(matches!(q.items[1].expr, AstExpr::ExtractYear(_)));
+    }
+
+    #[test]
+    fn parses_multi_table_join_predicates() {
+        let q = parse("SELECT t1.a FROM t1, t2 WHERE t1.k = t2.k AND t1.x > 3").unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.where_.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELEKT a FROM t").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t extra junk !!").is_err());
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        assert!(matches!(
+            q.items[0].expr,
+            AstExpr::Agg(AggFunc::Count, _)
+        ));
+    }
+}

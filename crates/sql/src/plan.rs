@@ -1,0 +1,403 @@
+//! Logical query plans.
+//!
+//! The plan language covers the paper's operator set: filter (range
+//! checks), sort, group-by with aggregation, PK–FK equi-joins, projection,
+//! and limit. Plans are produced either by the SQL planner or built by hand
+//! (the TPC-H crate does both and tests they agree).
+
+use crate::types::{ColumnType, Schema};
+
+/// A scalar expression over the columns of a single row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScalarExpr {
+    /// Column by position.
+    Col(usize),
+    /// Literal.
+    Const(i64),
+    /// Addition.
+    Add(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Subtraction.
+    Sub(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Multiplication.
+    Mul(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Integer (floor) division — the paper's division gate (§4.5).
+    Div(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// `CASE WHEN col = value THEN a ELSE b END` — equality-driven selector,
+    /// realized in circuits with the paper's Eq. (6)/(7) inverse trick.
+    CaseEq {
+        /// The tested column.
+        col: usize,
+        /// The comparison constant.
+        value: i64,
+        /// Result when equal.
+        then: Box<ScalarExpr>,
+        /// Result when different.
+        otherwise: Box<ScalarExpr>,
+    },
+    /// `EXTRACT(YEAR FROM date_col)` — realized in circuits with a
+    /// day→year lookup table.
+    ExtractYear(Box<ScalarExpr>),
+}
+
+/// Convert days-since-epoch to a calendar year (proleptic Gregorian).
+pub fn year_of_epoch_days(days: i64) -> i64 {
+    // Howard Hinnant's civil_from_days algorithm (date -> y/m/d), year part.
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    if m <= 2 {
+        y + 1
+    } else {
+        y
+    }
+}
+
+/// Convert a calendar date to days since 1970-01-01.
+pub fn epoch_days(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = if m > 2 { m - 3 } else { m + 9 };
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+impl ScalarExpr {
+    /// Evaluate over a row.
+    pub fn eval(&self, row: &[i64]) -> i64 {
+        match self {
+            ScalarExpr::Col(i) => row[*i],
+            ScalarExpr::Const(c) => *c,
+            ScalarExpr::Add(a, b) => a.eval(row) + b.eval(row),
+            ScalarExpr::Sub(a, b) => a.eval(row) - b.eval(row),
+            ScalarExpr::Mul(a, b) => {
+                let v = (a.eval(row) as i128) * (b.eval(row) as i128);
+                assert!(
+                    v.unsigned_abs() < (1 << 62),
+                    "scalar overflow in plan expression"
+                );
+                v as i64
+            }
+            ScalarExpr::Div(a, b) => {
+                let d = b.eval(row);
+                assert!(d > 0, "division by non-positive value");
+                a.eval(row) / d
+            }
+            ScalarExpr::CaseEq {
+                col,
+                value,
+                then,
+                otherwise,
+            } => {
+                if row[*col] == *value {
+                    then.eval(row)
+                } else {
+                    otherwise.eval(row)
+                }
+            }
+            ScalarExpr::ExtractYear(e) => year_of_epoch_days(e.eval(row)),
+        }
+    }
+
+    /// All columns referenced.
+    pub fn columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Col(i) => out.push(*i),
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::Add(a, b)
+            | ScalarExpr::Sub(a, b)
+            | ScalarExpr::Mul(a, b)
+            | ScalarExpr::Div(a, b) => {
+                a.columns(out);
+                b.columns(out);
+            }
+            ScalarExpr::CaseEq {
+                col,
+                then,
+                otherwise,
+                ..
+            } => {
+                out.push(*col);
+                then.columns(out);
+                otherwise.columns(out);
+            }
+            ScalarExpr::ExtractYear(e) => e.columns(out),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply to two values.
+    pub fn apply(&self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// A filter predicate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// `col OP constant`.
+    ColConst {
+        /// Column position.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: i64,
+    },
+    /// `col OP col`.
+    ColCol {
+        /// Left column.
+        left: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Right column.
+        right: usize,
+    },
+}
+
+impl Predicate {
+    /// Evaluate over a row.
+    pub fn eval(&self, row: &[i64]) -> bool {
+        match self {
+            Predicate::ColConst { col, op, value } => op.apply(row[*col], *value),
+            Predicate::ColCol { left, op, right } => op.apply(row[*left], row[*right]),
+        }
+    }
+}
+
+/// Aggregate functions (paper §4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the input expression.
+    Sum,
+    /// Row count.
+    Count,
+    /// Integer average (floor of sum/count).
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// One aggregate computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// The input expression (ignored by COUNT).
+    pub input: ScalarExpr,
+}
+
+/// A logical query plan node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// Read a base table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Keep rows satisfying the conjunction of predicates.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Compute derived columns.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output name + expression pairs.
+        exprs: Vec<(String, ScalarExpr)>,
+    },
+    /// Inner equi-join; the right side's key must be unique (PK side).
+    Join {
+        /// Left (foreign-key) input.
+        left: Box<Plan>,
+        /// Right (primary-key) input.
+        right: Box<Plan>,
+        /// Key column in the left schema.
+        left_key: usize,
+        /// Key column in the right schema.
+        right_key: usize,
+    },
+    /// Group-by with aggregates; output columns are the group keys followed
+    /// by the aggregates, groups ordered by key.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping column positions.
+        group_by: Vec<usize>,
+        /// Named aggregates.
+        aggs: Vec<(String, Aggregate)>,
+    },
+    /// Sort by keys (`true` = descending).
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// (column, descending) sort keys, most significant first.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+impl Plan {
+    /// Children of this node.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => vec![],
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+            Plan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Derive the output schema given a resolver for base tables.
+    pub fn schema(&self, lookup: &impl Fn(&str) -> Schema) -> Schema {
+        match self {
+            Plan::Scan { table } => lookup(table),
+            Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
+                input.schema(lookup)
+            }
+            Plan::Project { input, exprs } => {
+                let inner = input.schema(lookup);
+                Schema {
+                    columns: exprs
+                        .iter()
+                        .map(|(name, e)| {
+                            let ty = match e {
+                                ScalarExpr::Col(i) => inner.columns[*i].1,
+                                _ => ColumnType::Int,
+                            };
+                            (name.clone(), ty)
+                        })
+                        .collect(),
+                }
+            }
+            Plan::Join { left, right, .. } => {
+                let mut cols = left.schema(lookup).columns;
+                cols.extend(right.schema(lookup).columns);
+                Schema { columns: cols }
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let inner = input.schema(lookup);
+                let mut cols: Vec<(String, ColumnType)> = group_by
+                    .iter()
+                    .map(|g| inner.columns[*g].clone())
+                    .collect();
+                for (name, _) in aggs {
+                    cols.push((name.clone(), ColumnType::Int));
+                }
+                Schema { columns: cols }
+            }
+        }
+    }
+
+    /// Pretty one-line description of the root operator.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Plan::Scan { .. } => "scan",
+            Plan::Filter { .. } => "filter",
+            Plan::Project { .. } => "project",
+            Plan::Join { .. } => "join",
+            Plan::Aggregate { .. } => "aggregate",
+            Plan::Sort { .. } => "sort",
+            Plan::Limit { .. } => "limit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_eval() {
+        // (c0 - 5) * (c1 + 2)
+        let e = ScalarExpr::Mul(
+            Box::new(ScalarExpr::Sub(
+                Box::new(ScalarExpr::Col(0)),
+                Box::new(ScalarExpr::Const(5)),
+            )),
+            Box::new(ScalarExpr::Add(
+                Box::new(ScalarExpr::Col(1)),
+                Box::new(ScalarExpr::Const(2)),
+            )),
+        );
+        assert_eq!(e.eval(&[10, 3]), 25);
+        let mut cols = vec![];
+        e.columns(&mut cols);
+        assert_eq!(cols, vec![0, 1]);
+    }
+
+    #[test]
+    fn predicates() {
+        let p = Predicate::ColConst {
+            col: 0,
+            op: CmpOp::Lt,
+            value: 10,
+        };
+        assert!(p.eval(&[9]));
+        assert!(!p.eval(&[10]));
+        let q = Predicate::ColCol {
+            left: 0,
+            op: CmpOp::Ge,
+            right: 1,
+        };
+        assert!(q.eval(&[5, 5]));
+        assert!(!q.eval(&[4, 5]));
+    }
+
+    #[test]
+    fn cmp_ops_cover_all() {
+        assert!(CmpOp::Le.apply(3, 3));
+        assert!(CmpOp::Gt.apply(4, 3));
+        assert!(CmpOp::Eq.apply(3, 3));
+        assert!(CmpOp::Ne.apply(3, 4));
+    }
+}

@@ -1,0 +1,646 @@
+//! AST → logical plan translation.
+//!
+//! The planner resolves names, classifies WHERE conjuncts into per-table
+//! filters and PK–FK join edges (using primary-key metadata to orient each
+//! join), materializes computed group keys, and rewrites aggregate
+//! references in SELECT/HAVING/ORDER BY into positions over the aggregate
+//! output.
+
+use crate::parser::{AstExpr, AstPredicate, ColRef, SelectStmt};
+use crate::plan::{Aggregate, CmpOp, Plan, Predicate, ScalarExpr};
+use crate::types::{Schema, StringDict};
+use std::collections::HashMap;
+
+/// Table metadata available to the planner.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    /// Schema per table.
+    pub schemas: HashMap<String, Schema>,
+    /// Primary-key column per table (joins are oriented PK-side right).
+    pub pks: HashMap<String, String>,
+}
+
+impl Catalog {
+    /// Schema lookup closure for [`Plan::schema`].
+    pub fn lookup(&self) -> impl Fn(&str) -> Schema + '_ {
+        move |name| self.schemas.get(name).cloned().unwrap_or_default()
+    }
+}
+
+/// The evolving namespace of the joined relation.
+#[derive(Clone, Debug)]
+struct Namespace {
+    /// (table, column) per output position.
+    cols: Vec<(String, String)>,
+}
+
+impl Namespace {
+    fn resolve(&self, c: &ColRef) -> Result<usize, String> {
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, n))| {
+                n == &c.column && c.table.as_ref().map(|q| q == t).unwrap_or(true)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => Err(format!("unknown column {:?}", c)),
+            1 => Ok(matches[0]),
+            _ => Err(format!("ambiguous column {:?}", c)),
+        }
+    }
+}
+
+fn literal(e: &AstExpr, dict: &mut StringDict) -> Option<i64> {
+    match e {
+        AstExpr::Number(n) => Some(*n),
+        AstExpr::Str(s) => Some(dict.intern(s)),
+        _ => None,
+    }
+}
+
+/// Convert an AST expression into a plan scalar over `ns`, resolving
+/// aggregate subtrees through `agg_resolver` when provided.
+fn to_scalar(
+    e: &AstExpr,
+    ns: &Namespace,
+    dict: &mut StringDict,
+    agg_resolver: Option<&dyn Fn(&AstExpr) -> Option<usize>>,
+) -> Result<ScalarExpr, String> {
+    if let Some(resolver) = agg_resolver {
+        if let Some(pos) = resolver(e) {
+            return Ok(ScalarExpr::Col(pos));
+        }
+    }
+    match e {
+        AstExpr::Col(c) => Ok(ScalarExpr::Col(ns.resolve(c)?)),
+        AstExpr::Number(n) => Ok(ScalarExpr::Const(*n)),
+        AstExpr::Str(s) => Ok(ScalarExpr::Const(dict.intern(s))),
+        AstExpr::Add(a, b) => Ok(ScalarExpr::Add(
+            Box::new(to_scalar(a, ns, dict, agg_resolver)?),
+            Box::new(to_scalar(b, ns, dict, agg_resolver)?),
+        )),
+        AstExpr::Sub(a, b) => Ok(ScalarExpr::Sub(
+            Box::new(to_scalar(a, ns, dict, agg_resolver)?),
+            Box::new(to_scalar(b, ns, dict, agg_resolver)?),
+        )),
+        AstExpr::Mul(a, b) => Ok(ScalarExpr::Mul(
+            Box::new(to_scalar(a, ns, dict, agg_resolver)?),
+            Box::new(to_scalar(b, ns, dict, agg_resolver)?),
+        )),
+        AstExpr::Div(a, b) => Ok(ScalarExpr::Div(
+            Box::new(to_scalar(a, ns, dict, agg_resolver)?),
+            Box::new(to_scalar(b, ns, dict, agg_resolver)?),
+        )),
+        AstExpr::CaseEq {
+            col,
+            lit,
+            then,
+            otherwise,
+        } => Ok(ScalarExpr::CaseEq {
+            col: ns.resolve(col)?,
+            value: literal(lit, dict).ok_or("CASE literal must be constant")?,
+            then: Box::new(to_scalar(then, ns, dict, agg_resolver)?),
+            otherwise: Box::new(to_scalar(otherwise, ns, dict, agg_resolver)?),
+        }),
+        AstExpr::ExtractYear(inner) => Ok(ScalarExpr::ExtractYear(Box::new(to_scalar(
+            inner,
+            ns,
+            dict,
+            agg_resolver,
+        )?))),
+        AstExpr::Agg(..) => Err("aggregate in non-aggregate context".to_string()),
+    }
+}
+
+/// Collect all aggregate subtrees of an expression.
+fn collect_aggs(e: &AstExpr, out: &mut Vec<AstExpr>) {
+    match e {
+        AstExpr::Agg(..) => {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+        AstExpr::Add(a, b) | AstExpr::Sub(a, b) | AstExpr::Mul(a, b) | AstExpr::Div(a, b) => {
+            collect_aggs(a, out);
+            collect_aggs(b, out);
+        }
+        AstExpr::CaseEq {
+            lit,
+            then,
+            otherwise,
+            ..
+        } => {
+            collect_aggs(lit, out);
+            collect_aggs(then, out);
+            collect_aggs(otherwise, out);
+        }
+        AstExpr::ExtractYear(inner) => collect_aggs(inner, out),
+        _ => {}
+    }
+}
+
+/// Plan a parsed statement against a catalog.
+pub fn plan_query(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    dict: &mut StringDict,
+) -> Result<Plan, String> {
+    if stmt.from.is_empty() {
+        return Err("FROM clause required".to_string());
+    }
+    for t in &stmt.from {
+        if !catalog.schemas.contains_key(t) {
+            return Err(format!("unknown table '{t}'"));
+        }
+    }
+
+    // Namespace per base table.
+    let table_ns = |t: &str| -> Namespace {
+        Namespace {
+            cols: catalog.schemas[t]
+                .columns
+                .iter()
+                .map(|(c, _)| (t.to_string(), c.clone()))
+                .collect(),
+        }
+    };
+
+    // Classify WHERE conjuncts.
+    struct JoinEdge {
+        a: (String, String),
+        b: (String, String),
+    }
+    let mut per_table_filters: HashMap<String, Vec<(ColRef, CmpOp, i64)>> = HashMap::new();
+    let mut per_table_colcol: HashMap<String, Vec<(ColRef, CmpOp, ColRef)>> = HashMap::new();
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    let mut post_filters: Vec<AstPredicate> = Vec::new();
+
+    let owner = |c: &ColRef| -> Result<String, String> {
+        if let Some(t) = &c.table {
+            return Ok(t.clone());
+        }
+        let hits: Vec<&String> = stmt
+            .from
+            .iter()
+            .filter(|t| catalog.schemas[*t].index_of(&c.column).is_some())
+            .collect();
+        match hits.len() {
+            1 => Ok(hits[0].clone()),
+            0 => Err(format!("unknown column {}", c.column)),
+            _ => Err(format!("ambiguous column {}", c.column)),
+        }
+    };
+
+    for p in &stmt.where_ {
+        match (&p.left, &p.right) {
+            (AstExpr::Col(a), AstExpr::Col(b)) => {
+                let (ta, tb) = (owner(a)?, owner(b)?);
+                if ta != tb && p.op == CmpOp::Eq {
+                    edges.push(JoinEdge {
+                        a: (ta, a.column.clone()),
+                        b: (tb, b.column.clone()),
+                    });
+                } else if ta == tb {
+                    per_table_colcol.entry(ta).or_default().push((
+                        a.clone(),
+                        p.op,
+                        b.clone(),
+                    ));
+                } else {
+                    post_filters.push(p.clone());
+                }
+            }
+            (AstExpr::Col(a), rhs) => {
+                let v = literal(rhs, dict)
+                    .ok_or_else(|| format!("unsupported predicate operand {rhs:?}"))?;
+                per_table_filters
+                    .entry(owner(a)?)
+                    .or_default()
+                    .push((a.clone(), p.op, v));
+            }
+            (lhs, AstExpr::Col(b)) => {
+                let v = literal(lhs, dict)
+                    .ok_or_else(|| format!("unsupported predicate operand {lhs:?}"))?;
+                let flipped = match p.op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => other,
+                };
+                per_table_filters
+                    .entry(owner(b)?)
+                    .or_default()
+                    .push((b.clone(), flipped, v));
+            }
+            _ => return Err(format!("unsupported predicate {p:?}")),
+        }
+    }
+
+    // Per-table base plans with pushed-down filters.
+    let base = |t: &str| -> Result<Plan, String> {
+        let scan = Plan::Scan {
+            table: t.to_string(),
+        };
+        let ns = table_ns(t);
+        let mut preds = Vec::new();
+        for (c, op, v) in per_table_filters.get(t).cloned().unwrap_or_default() {
+            preds.push(Predicate::ColConst {
+                col: ns.resolve(&c)?,
+                op,
+                value: v,
+            });
+        }
+        for (a, op, b) in per_table_colcol.get(t).cloned().unwrap_or_default() {
+            preds.push(Predicate::ColCol {
+                left: ns.resolve(&a)?,
+                op,
+                right: ns.resolve(&b)?,
+            });
+        }
+        Ok(if preds.is_empty() {
+            scan
+        } else {
+            Plan::Filter {
+                input: Box::new(scan),
+                predicates: preds,
+            }
+        })
+    };
+
+    // Left-deep joins in FROM order, PK side on the right.
+    let mut joined: Vec<String> = vec![stmt.from[0].clone()];
+    let mut plan = base(&stmt.from[0])?;
+    let mut ns = table_ns(&stmt.from[0]);
+    let mut remaining: Vec<String> = stmt.from[1..].to_vec();
+    let mut used = vec![false; edges.len()];
+    while !remaining.is_empty() {
+        // find an edge connecting the joined set to a remaining table
+        let mut found = None;
+        'search: for (ei, e) in edges.iter().enumerate() {
+            if used[ei] {
+                continue;
+            }
+            for (inside, outside) in [(&e.a, &e.b), (&e.b, &e.a)] {
+                if joined.contains(&inside.0) && remaining.contains(&outside.0) {
+                    found = Some((ei, inside.clone(), outside.clone()));
+                    break 'search;
+                }
+            }
+        }
+        let (ei, inside, outside) =
+            found.ok_or("disconnected join graph (cross products unsupported)")?;
+        used[ei] = true;
+        let new_plan = base(&outside.0)?;
+        let new_ns = table_ns(&outside.0);
+        let inside_pos = ns.resolve(&ColRef {
+            table: Some(inside.0.clone()),
+            column: inside.1.clone(),
+        })?;
+        let outside_pos = new_ns.resolve(&ColRef {
+            table: Some(outside.0.clone()),
+            column: outside.1.clone(),
+        })?;
+        // Orient: the side whose key is its table's primary key goes right.
+        let outside_is_pk = catalog
+            .pks
+            .get(&outside.0)
+            .map(|pk| pk == &outside.1)
+            .unwrap_or(false);
+        if outside_is_pk {
+            plan = Plan::Join {
+                left: Box::new(plan),
+                right: Box::new(new_plan),
+                left_key: inside_pos,
+                right_key: outside_pos,
+            };
+            ns.cols.extend(new_ns.cols);
+        } else {
+            let left_w = new_ns.cols.len();
+            plan = Plan::Join {
+                left: Box::new(new_plan),
+                right: Box::new(plan),
+                left_key: outside_pos,
+                right_key: inside_pos,
+            };
+            let mut cols = new_ns.cols;
+            cols.extend(ns.cols);
+            ns = Namespace { cols };
+            let _ = left_w;
+        }
+        joined.push(outside.0.clone());
+        remaining.retain(|t| t != &outside.0);
+    }
+    // any unused cross-set equality edges become post-join filters
+    for (ei, e) in edges.iter().enumerate() {
+        if !used[ei] {
+            post_filters.push(AstPredicate {
+                left: AstExpr::Col(ColRef {
+                    table: Some(e.a.0.clone()),
+                    column: e.a.1.clone(),
+                }),
+                op: CmpOp::Eq,
+                right: AstExpr::Col(ColRef {
+                    table: Some(e.b.0.clone()),
+                    column: e.b.1.clone(),
+                }),
+            });
+        }
+    }
+    if !post_filters.is_empty() {
+        let mut preds = Vec::new();
+        for p in &post_filters {
+            match (&p.left, &p.right) {
+                (AstExpr::Col(a), AstExpr::Col(b)) => preds.push(Predicate::ColCol {
+                    left: ns.resolve(a)?,
+                    op: p.op,
+                    right: ns.resolve(b)?,
+                }),
+                _ => return Err("unsupported post-join predicate".to_string()),
+            }
+        }
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            predicates: preds,
+        };
+    }
+
+    let has_aggs = {
+        let mut aggs = Vec::new();
+        for item in &stmt.items {
+            collect_aggs(&item.expr, &mut aggs);
+        }
+        !aggs.is_empty() || !stmt.group_by.is_empty()
+    };
+
+    // Final output: (plan, output names)
+    let (mut plan, out_names): (Plan, Vec<String>) = if has_aggs {
+        // Materialize computed group keys (aliases of non-trivial exprs).
+        let mut group_positions = Vec::new();
+        let mut pre_exprs: Vec<(String, ScalarExpr)> = ns
+            .cols
+            .iter()
+            .enumerate()
+            .map(|(i, (_, c))| (c.clone(), ScalarExpr::Col(i)))
+            .collect();
+        let mut pre_ns = ns.clone();
+        for g in &stmt.group_by {
+            if let Ok(pos) = ns.resolve(g) {
+                group_positions.push(pos);
+            } else {
+                // must be an alias of a computed select item
+                let item = stmt
+                    .items
+                    .iter()
+                    .find(|i| i.alias.as_deref() == Some(g.column.as_str()))
+                    .ok_or_else(|| format!("GROUP BY {:?} not resolvable", g))?;
+                let expr = to_scalar(&item.expr, &ns, dict, None)?;
+                group_positions.push(pre_exprs.len());
+                pre_exprs.push((g.column.clone(), expr));
+                pre_ns
+                    .cols
+                    .push(("".to_string(), g.column.clone()));
+            }
+        }
+        if pre_exprs.len() > ns.cols.len() {
+            plan = Plan::Project {
+                input: Box::new(plan),
+                exprs: pre_exprs,
+            };
+        }
+        let agg_input_ns = pre_ns;
+
+        // Unique aggregates across SELECT/HAVING.
+        let mut agg_asts: Vec<AstExpr> = Vec::new();
+        for item in &stmt.items {
+            collect_aggs(&item.expr, &mut agg_asts);
+        }
+        for h in &stmt.having {
+            collect_aggs(&h.left, &mut agg_asts);
+            collect_aggs(&h.right, &mut agg_asts);
+        }
+        let mut aggs: Vec<(String, Aggregate)> = Vec::new();
+        for (i, a) in agg_asts.iter().enumerate() {
+            let AstExpr::Agg(func, inner) = a else {
+                unreachable!()
+            };
+            aggs.push((
+                format!("agg{i}"),
+                Aggregate {
+                    func: *func,
+                    input: to_scalar(inner, &agg_input_ns, dict, None)?,
+                },
+            ));
+        }
+        plan = Plan::Aggregate {
+            input: Box::new(plan),
+            group_by: group_positions.clone(),
+            aggs,
+        };
+        // Aggregate output namespace: group keys, then aggregates.
+        let agg_out_ns = Namespace {
+            cols: group_positions
+                .iter()
+                .map(|p| agg_input_ns.cols[*p].clone())
+                .chain(
+                    (0..agg_asts.len()).map(|i| ("".to_string(), format!("agg{i}"))),
+                )
+                .collect(),
+        };
+        let agg_pos = |e: &AstExpr| -> Option<usize> {
+            agg_asts
+                .iter()
+                .position(|a| a == e)
+                .map(|i| group_positions.len() + i)
+        };
+
+        // HAVING.
+        if !stmt.having.is_empty() {
+            let mut preds = Vec::new();
+            for h in &stmt.having {
+                let lpos = agg_pos(&h.left)
+                    .or_else(|| agg_out_ns.resolve(match &h.left {
+                        AstExpr::Col(c) => c,
+                        _ => return None,
+                    }).ok());
+                let (col, op, value) = match (lpos, literal(&h.right, dict)) {
+                    (Some(c), Some(v)) => (c, h.op, v),
+                    _ => return Err("HAVING must compare an aggregate to a constant".into()),
+                };
+                preds.push(Predicate::ColConst { col, op, value });
+            }
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicates: preds,
+            };
+        }
+
+        // SELECT projection over the aggregate output.
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            let name = item
+                .alias
+                .clone()
+                .unwrap_or_else(|| match &item.expr {
+                    AstExpr::Col(c) => c.column.clone(),
+                    _ => format!("col{i}"),
+                });
+            let e = to_scalar(&item.expr, &agg_out_ns, dict, Some(&agg_pos))?;
+            exprs.push((name.clone(), e));
+            names.push(name);
+        }
+        (
+            Plan::Project {
+                input: Box::new(plan),
+                exprs,
+            },
+            names,
+        )
+    } else {
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            let name = item
+                .alias
+                .clone()
+                .unwrap_or_else(|| match &item.expr {
+                    AstExpr::Col(c) => c.column.clone(),
+                    _ => format!("col{i}"),
+                });
+            exprs.push((name.clone(), to_scalar(&item.expr, &ns, dict, None)?));
+            names.push(name);
+        }
+        (
+            Plan::Project {
+                input: Box::new(plan),
+                exprs,
+            },
+            names,
+        )
+    };
+
+    // ORDER BY over the projected output.
+    if !stmt.order_by.is_empty() {
+        let mut keys = Vec::new();
+        for (name, desc) in &stmt.order_by {
+            let pos = out_names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| format!("ORDER BY column '{name}' not in output"))?;
+            keys.push((pos, *desc));
+        }
+        plan = Plan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
+    }
+    if let Some(n) = stmt.limit {
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute;
+    use crate::parser::parse;
+    use crate::types::{ColumnType, Database, Table};
+
+    fn setup() -> (Database, Catalog) {
+        let mut db = Database::new();
+        let mut t = Table::empty(Schema::new(&[
+            ("k", ColumnType::Int),
+            ("grp", ColumnType::Int),
+            ("v", ColumnType::Int),
+        ]));
+        for (k, g, v) in [(1, 10, 5), (2, 20, 7), (3, 10, 9), (4, 20, 11)] {
+            t.push_row(&[k, g, v]);
+        }
+        db.add_table("fact", t);
+        let mut d = Table::empty(Schema::new(&[
+            ("gid", ColumnType::Int),
+            ("label", ColumnType::Int),
+        ]));
+        d.push_row(&[10, 7070]);
+        d.push_row(&[20, 8080]);
+        db.add_table("dim", d);
+        let mut catalog = Catalog::default();
+        for (name, table) in &db.tables {
+            catalog.schemas.insert(name.clone(), table.schema.clone());
+        }
+        catalog.pks.insert("dim".into(), "gid".into());
+        catalog.pks.insert("fact".into(), "k".into());
+        (db, catalog)
+    }
+
+    #[test]
+    fn plans_join_group_order() {
+        let (db, catalog) = setup();
+        let stmt = parse(
+            "SELECT label, SUM(v) AS total FROM fact, dim \
+             WHERE grp = gid AND v > 5 GROUP BY label ORDER BY total DESC",
+        )
+        .unwrap();
+        let mut dict = db.dict.clone();
+        let plan = plan_query(&stmt, &catalog, &mut dict).unwrap();
+        let out = execute(&db, &plan).unwrap().output;
+        // v > 5: rows (2,20,7),(3,10,9),(4,20,11): 20->18, 10->9
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.row(0), vec![8080, 18]);
+        assert_eq!(out.row(1), vec![7070, 9]);
+    }
+
+    #[test]
+    fn plans_plain_projection() {
+        let (db, catalog) = setup();
+        let stmt = parse("SELECT v * 2 AS dbl FROM fact WHERE k <= 2").unwrap();
+        let mut dict = db.dict.clone();
+        let plan = plan_query(&stmt, &catalog, &mut dict).unwrap();
+        let out = execute(&db, &plan).unwrap().output;
+        assert_eq!(out.cols[0], vec![10, 14]);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let (db, catalog) = setup();
+        let stmt =
+            parse("SELECT grp, SUM(v) AS s FROM fact GROUP BY grp HAVING SUM(v) > 15").unwrap();
+        let mut dict = db.dict.clone();
+        let plan = plan_query(&stmt, &catalog, &mut dict).unwrap();
+        let out = execute(&db, &plan).unwrap().output;
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), vec![20, 18]);
+    }
+
+    #[test]
+    fn rejects_disconnected_joins() {
+        let (db, catalog) = setup();
+        let stmt = parse("SELECT v FROM fact, dim WHERE v > 1").unwrap();
+        let mut dict = db.dict.clone();
+        assert!(plan_query(&stmt, &catalog, &mut dict).is_err());
+    }
+
+    #[test]
+    fn fk_side_first_in_from_works() {
+        // dim listed first: the planner must still put the PK side right.
+        let (db, catalog) = setup();
+        let stmt = parse(
+            "SELECT label, COUNT(*) AS c FROM dim, fact WHERE gid = grp GROUP BY label ORDER BY label",
+        )
+        .unwrap();
+        let mut dict = db.dict.clone();
+        let plan = plan_query(&stmt, &catalog, &mut dict).unwrap();
+        let out = execute(&db, &plan).unwrap().output;
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.row(0), vec![7070, 2]);
+        assert_eq!(out.row(1), vec![8080, 2]);
+    }
+}

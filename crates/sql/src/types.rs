@@ -1,0 +1,206 @@
+//! Value and table representation.
+//!
+//! Following the paper's evaluation setup, *all* SQL values are 64-bit
+//! integers: decimals are scaled by 100, dates are days since 1970-01-01,
+//! and strings are dictionary-encoded. Circuit encodings additionally
+//! require values in `[0, 2^56)` so that every comparison reduces to a
+//! 7-byte range check (paper §4.1 Design C/D).
+
+use std::collections::HashMap;
+
+/// Maximum representable circuit value (exclusive): `2^56`.
+pub const VALUE_BOUND: i64 = 1 << 56;
+
+/// Logical column types (all stored as `i64`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Plain integer.
+    Int,
+    /// Fixed-point decimal scaled by 100 (cents).
+    Decimal,
+    /// Days since 1970-01-01.
+    Date,
+    /// Dictionary-encoded string.
+    Str,
+}
+
+/// A table schema: ordered named, typed columns.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// Column names and types.
+    pub columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Build from name/type pairs.
+    pub fn new(cols: &[(&str, ColumnType)]) -> Self {
+        Self {
+            columns: cols.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+        }
+    }
+
+    /// Index of a named column.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A columnar table of `i64` values.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Table {
+    /// The schema.
+    pub schema: Schema,
+    /// Column-major data.
+    pub cols: Vec<Vec<i64>>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let width = schema.width();
+        Self {
+            schema,
+            cols: vec![Vec::new(); width],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cols.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a row (must match the schema width).
+    pub fn push_row(&mut self, row: &[i64]) {
+        assert_eq!(row.len(), self.cols.len(), "row width mismatch");
+        for (c, v) in self.cols.iter_mut().zip(row) {
+            c.push(*v);
+        }
+    }
+
+    /// Read a row.
+    pub fn row(&self, r: usize) -> Vec<i64> {
+        self.cols.iter().map(|c| c[r]).collect()
+    }
+
+    /// Retain rows selected by the mask.
+    pub fn filter_rows(&self, mask: &[bool]) -> Table {
+        let mut out = Table::empty(self.schema.clone());
+        for (ci, col) in self.cols.iter().enumerate() {
+            out.cols[ci] = col
+                .iter()
+                .zip(mask)
+                .filter(|(_, m)| **m)
+                .map(|(v, _)| *v)
+                .collect();
+        }
+        out
+    }
+}
+
+/// A bidirectional string dictionary shared by a database.
+#[derive(Clone, Debug, Default)]
+pub struct StringDict {
+    forward: HashMap<String, i64>,
+    backward: Vec<String>,
+}
+
+impl StringDict {
+    /// Create an empty dictionary. Id 0 is reserved for the empty string so
+    /// that zero-padded circuit cells decode harmlessly.
+    pub fn new() -> Self {
+        let mut d = Self::default();
+        d.intern("");
+        d
+    }
+
+    /// Get-or-assign the id of a string.
+    pub fn intern(&mut self, s: &str) -> i64 {
+        if let Some(id) = self.forward.get(s) {
+            return *id;
+        }
+        let id = self.backward.len() as i64;
+        self.forward.insert(s.to_string(), id);
+        self.backward.push(s.to_string());
+        id
+    }
+
+    /// Look up an id without creating it.
+    pub fn get(&self, s: &str) -> Option<i64> {
+        self.forward.get(s).copied()
+    }
+
+    /// Resolve an id back to its string.
+    pub fn resolve(&self, id: i64) -> Option<&str> {
+        self.backward.get(id as usize).map(|s| s.as_str())
+    }
+}
+
+/// A named collection of tables plus the shared string dictionary.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    /// Tables by name.
+    pub tables: HashMap<String, Table>,
+    /// Shared string dictionary.
+    pub dict: StringDict,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self {
+            tables: HashMap::new(),
+            dict: StringDict::new(),
+        }
+    }
+
+    /// Insert a table.
+    pub fn add_table(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Fetch a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let schema = Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Decimal)]);
+        let mut t = Table::empty(schema);
+        t.push_row(&[1, 100]);
+        t.push_row(&[2, 250]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(1), vec![2, 250]);
+        assert_eq!(t.schema.index_of("b"), Some(1));
+        let f = t.filter_rows(&[false, true]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.row(0), vec![2, 250]);
+    }
+
+    #[test]
+    fn dict_interning() {
+        let mut d = StringDict::new();
+        let a = d.intern("BRASS");
+        let b = d.intern("STEEL");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("BRASS"), a);
+        assert_eq!(d.resolve(a), Some("BRASS"));
+        assert_eq!(d.get("missing"), None);
+        assert_eq!(d.resolve(0), Some(""));
+    }
+}

@@ -1,0 +1,386 @@
+//! Deterministic TPC-H data generator.
+//!
+//! Follows the paper's evaluation setup (§5.1): the database scale is
+//! quantified by the `lineitem` row count, dimension tables scale
+//! proportionally, decimals are ×100 integers, dates are epoch days, and
+//! strings are dictionary-encoded. The distributions approximate the TPC-H
+//! specification closely enough to preserve selectivities of the six
+//! benchmark queries.
+
+use poneglyph_sql::{epoch_days, ColumnType, Database, Schema, Table};
+
+/// TPC-H nations with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+    ("CHINA", 2),
+];
+
+/// TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// SplitMix64: deterministic, fast, and good enough for synthetic data.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+    /// Next raw value.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    /// Uniform in `[lo, hi]`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % ((hi - lo + 1) as u64)) as i64
+    }
+}
+
+/// Composite `partsupp`/`lineitem` part-supplier key (our PK–FK joins are
+/// single-column, so the composite TPC-H key is packed into one value).
+pub fn ps_key(partkey: i64, suppkey: i64) -> i64 {
+    partkey * (1 << 28) + suppkey
+}
+
+/// Generate a TPC-H database with `lineitem_rows` fact rows, dimension
+/// tables scaled proportionally (§5.1).
+pub fn generate(lineitem_rows: usize) -> Database {
+    let mut db = Database::new();
+    let mut rng = Rng::new(0x7060_5040_3020_1000 ^ lineitem_rows as u64);
+
+    let n_orders = (lineitem_rows / 4).max(4);
+    let n_customers = (n_orders / 10).max(5);
+    let n_parts = (lineitem_rows / 30).max(8);
+    let n_suppliers = (lineitem_rows / 100).max(4);
+
+    // region
+    let mut region = Table::empty(Schema::new(&[
+        ("r_regionkey", ColumnType::Int),
+        ("r_name", ColumnType::Str),
+    ]));
+    for (i, name) in REGIONS.iter().enumerate() {
+        let id = db.dict.intern(name);
+        region.push_row(&[i as i64 + 1, id]);
+    }
+    db.add_table("region", region);
+
+    // nation
+    let mut nation = Table::empty(Schema::new(&[
+        ("n_nationkey", ColumnType::Int),
+        ("n_name", ColumnType::Str),
+        ("n_regionkey", ColumnType::Int),
+    ]));
+    for (i, (name, region_idx)) in NATIONS.iter().enumerate() {
+        let id = db.dict.intern(name);
+        nation.push_row(&[i as i64 + 1, id, *region_idx as i64 + 1]);
+    }
+    db.add_table("nation", nation);
+
+    // supplier
+    let mut supplier = Table::empty(Schema::new(&[
+        ("s_suppkey", ColumnType::Int),
+        ("s_nationkey", ColumnType::Int),
+        ("s_acctbal", ColumnType::Decimal),
+    ]));
+    // Nation skew: half the endpoints land in ASIA so that Q5's
+    // same-nation customer/supplier intersection is non-empty at small
+    // scales (real TPC-H achieves this through sheer cardinality).
+    let asia_nations: Vec<i64> = NATIONS
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, r))| *r == 2)
+        .map(|(i, _)| i as i64 + 1)
+        .collect();
+    let america_nations: Vec<i64> = NATIONS
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, r))| *r == 1)
+        .map(|(i, _)| i as i64 + 1)
+        .collect();
+    let mut pick_nation = |rng: &mut Rng| -> i64 {
+        match rng.next() % 3 {
+            0 => asia_nations[(rng.next() % asia_nations.len() as u64) as usize],
+            1 => america_nations[(rng.next() % america_nations.len() as u64) as usize],
+            _ => rng.range(1, 25),
+        }
+    };
+    for s in 0..n_suppliers {
+        let nk = pick_nation(&mut rng);
+        supplier.push_row(&[s as i64 + 1, nk, rng.range(0, 999_999)]);
+    }
+    db.add_table("supplier", supplier);
+
+    // customer
+    let mut customer = Table::empty(Schema::new(&[
+        ("c_custkey", ColumnType::Int),
+        ("c_name", ColumnType::Str),
+        ("c_nationkey", ColumnType::Int),
+        ("c_mktsegment", ColumnType::Str),
+        ("c_acctbal", ColumnType::Decimal),
+    ]));
+    for c in 0..n_customers {
+        let name = db.dict.intern(&format!("Customer#{:09}", c + 1));
+        let seg = db.dict.intern(SEGMENTS[(rng.next() % 5) as usize]);
+        let nk = pick_nation(&mut rng);
+        customer.push_row(&[c as i64 + 1, name, nk, seg, rng.range(0, 999_999)]);
+    }
+    db.add_table("customer", customer);
+
+    // part
+    let mut part = Table::empty(Schema::new(&[
+        ("p_partkey", ColumnType::Int),
+        ("p_type", ColumnType::Str),
+        ("p_size", ColumnType::Int),
+        ("p_retailprice", ColumnType::Decimal),
+    ]));
+    let mut part_price = Vec::with_capacity(n_parts);
+    for p in 0..n_parts {
+        // every 8th part carries Q8's exact type so the predicate matches
+        // at small scales (real dbgen: 1 in 150 of millions of parts)
+        let ty = if p % 8 == 0 {
+            "ECONOMY ANODIZED STEEL".to_string()
+        } else {
+            format!(
+                "{} {} {}",
+                TYPE_1[(rng.next() % 6) as usize],
+                TYPE_2[(rng.next() % 5) as usize],
+                TYPE_3[(rng.next() % 5) as usize]
+            )
+        };
+        let tid = db.dict.intern(&ty);
+        // 900.00 .. 2098.99 dollars in cents
+        let price = 90_000 + ((p as i64) % 200) * 100 + rng.range(0, 9900);
+        part_price.push(price);
+        part.push_row(&[p as i64 + 1, tid, rng.range(1, 50), price]);
+    }
+    db.add_table("part", part);
+
+    // partsupp: 4 suppliers per part, packed composite key
+    let mut partsupp = Table::empty(Schema::new(&[
+        ("ps_pskey", ColumnType::Int),
+        ("ps_partkey", ColumnType::Int),
+        ("ps_suppkey", ColumnType::Int),
+        ("ps_supplycost", ColumnType::Decimal),
+        ("ps_availqty", ColumnType::Int),
+    ]));
+    let mut ps_pairs = Vec::new();
+    for p in 0..n_parts {
+        for i in 0..4usize {
+            let s = ((p + i * (n_suppliers / 4).max(1)) % n_suppliers) as i64 + 1;
+            // supplycost strictly below half the retail price: keeps Q9
+            // profits positive, as required by the circuit value domain.
+            let cost = rng.range(100, part_price[p] / 2 - 1);
+            partsupp.push_row(&[
+                ps_key(p as i64 + 1, s),
+                p as i64 + 1,
+                s,
+                cost,
+                rng.range(1, 9999),
+            ]);
+            ps_pairs.push((p as i64 + 1, s));
+        }
+    }
+    db.add_table("partsupp", partsupp);
+
+    // orders + lineitem
+    let mut orders = Table::empty(Schema::new(&[
+        ("o_orderkey", ColumnType::Int),
+        ("o_custkey", ColumnType::Int),
+        ("o_totalprice", ColumnType::Decimal),
+        ("o_orderdate", ColumnType::Date),
+        ("o_shippriority", ColumnType::Int),
+    ]));
+    let mut lineitem = Table::empty(Schema::new(&[
+        ("l_orderkey", ColumnType::Int),
+        ("l_partkey", ColumnType::Int),
+        ("l_suppkey", ColumnType::Int),
+        ("l_pskey", ColumnType::Int),
+        ("l_quantity", ColumnType::Int),
+        ("l_extendedprice", ColumnType::Decimal),
+        ("l_discount", ColumnType::Decimal),
+        ("l_tax", ColumnType::Decimal),
+        ("l_returnflag", ColumnType::Str),
+        ("l_linestatus", ColumnType::Str),
+        ("l_shipdate", ColumnType::Date),
+    ]));
+    let date_lo = epoch_days(1992, 1, 1);
+    let date_hi = epoch_days(1998, 8, 2);
+    let flag_a = db.dict.intern("A");
+    let flag_n = db.dict.intern("N");
+    let flag_r = db.dict.intern("R");
+    let status_o = db.dict.intern("O");
+    let status_f = db.dict.intern("F");
+    let cutoff = epoch_days(1995, 6, 17);
+
+    let mut produced = 0usize;
+    let mut order_id = 0usize;
+    while produced < lineitem_rows {
+        order_id += 1;
+        let orderdate = rng.range(date_lo, date_hi - 151);
+        let custkey = rng.range(1, n_customers as i64);
+        // every 8th order is a "large volume" order (7 dense lineitems) so
+        // Q18's HAVING SUM(l_quantity) > 300 selects a few rows at any scale
+        let large = order_id % 8 == 0;
+        let items = if large { 7 } else { rng.range(1, 7) }
+            .min((lineitem_rows - produced) as i64);
+        let mut total = 0i64;
+        for line in 0..items {
+            let partkey = rng.range(1, n_parts as i64);
+            let (pk, suppkey) = {
+                // one of the four suppliers registered for the part
+                let base = (partkey - 1) as usize;
+                let i = (rng.next() % 4) as usize;
+                let s = ((base + i * (n_suppliers / 4).max(1)) % n_suppliers) as i64 + 1;
+                (partkey, s)
+            };
+            let quantity = if large {
+                rng.range(42, 50)
+            } else {
+                rng.range(1, 50)
+            };
+            let extendedprice = quantity * part_price[(pk - 1) as usize];
+            let discount = rng.range(0, 10);
+            let tax = rng.range(0, 8);
+            let shipdate = orderdate + rng.range(1, 121);
+            let returnflag = if shipdate <= cutoff {
+                if rng.next() % 2 == 0 {
+                    flag_a
+                } else {
+                    flag_r
+                }
+            } else {
+                flag_n
+            };
+            let linestatus = if shipdate <= cutoff { status_f } else { status_o };
+            lineitem.push_row(&[
+                order_id as i64,
+                pk,
+                suppkey,
+                ps_key(pk, suppkey),
+                quantity,
+                extendedprice,
+                discount,
+                tax,
+                returnflag,
+                linestatus,
+                shipdate,
+            ]);
+            total += extendedprice;
+            produced += 1;
+            let _ = line;
+        }
+        orders.push_row(&[
+            order_id as i64,
+            custkey,
+            total,
+            orderdate,
+            rng.range(0, 1),
+        ]);
+    }
+    db.add_table("orders", orders);
+    db.add_table("lineitem", lineitem);
+    db
+}
+
+/// The catalog (schemas + primary keys) for a generated database.
+pub fn catalog(db: &Database) -> poneglyph_sql::Catalog {
+    poneglyph_sql::catalog_of(
+        db,
+        &[
+            ("region", "r_regionkey"),
+            ("nation", "n_nationkey"),
+            ("supplier", "s_suppkey"),
+            ("customer", "c_custkey"),
+            ("part", "p_partkey"),
+            ("partsupp", "ps_pskey"),
+            ("orders", "o_orderkey"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_scaled() {
+        let db1 = generate(600);
+        let db2 = generate(600);
+        assert_eq!(
+            db1.table("lineitem").unwrap().cols,
+            db2.table("lineitem").unwrap().cols
+        );
+        assert_eq!(db1.table("lineitem").unwrap().len(), 600);
+        assert_eq!(db1.table("region").unwrap().len(), 5);
+        assert_eq!(db1.table("nation").unwrap().len(), 25);
+        assert!(db1.table("orders").unwrap().len() >= 600 / 7);
+    }
+
+    #[test]
+    fn keys_are_consistent() {
+        let db = generate(300);
+        let li = db.table("lineitem").unwrap();
+        let orders = db.table("orders").unwrap();
+        let n_orders = orders.len() as i64;
+        let ok = li.schema.index_of("l_orderkey").unwrap();
+        for r in 0..li.len() {
+            let o = li.cols[ok][r];
+            assert!(o >= 1 && o <= n_orders);
+        }
+        // every l_pskey appears in partsupp
+        let ps = db.table("partsupp").unwrap();
+        let ps_keys: std::collections::HashSet<i64> = ps.cols[0].iter().copied().collect();
+        let psk = li.schema.index_of("l_pskey").unwrap();
+        for r in 0..li.len() {
+            assert!(ps_keys.contains(&li.cols[psk][r]), "row {r}");
+        }
+    }
+
+    #[test]
+    fn values_fit_circuit_domain() {
+        let db = generate(500);
+        for (name, t) in &db.tables {
+            for (ci, col) in t.cols.iter().enumerate() {
+                for v in col {
+                    assert!(
+                        *v >= 0 && *v < (1 << 56),
+                        "{name}.{} value {v} out of domain",
+                        t.schema.columns[ci].0
+                    );
+                }
+            }
+        }
+    }
+}

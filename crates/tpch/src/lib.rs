@@ -1,0 +1,117 @@
+//! # poneglyph-tpch
+//!
+//! The evaluation workload of the paper (§5.1): a deterministic, scaled
+//! TPC-H generator (database size quantified by the `lineitem` row count)
+//! and the six queries of the ZKSQL comparison — Q1, Q3, Q5, Q8, Q9, Q18.
+
+mod gen;
+mod queries;
+
+pub use gen::{catalog, generate, ps_key, Rng, NATIONS, REGIONS};
+pub use queries::{
+    all_queries, q18_plan, q1_plan, q3_plan, q5_plan, q8_plan, q9_plan, Q18_SQL, Q1_SQL, Q3_SQL,
+    Q5_SQL, Q8_SQL, Q9_SQL,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poneglyph_sql::{execute, parse, plan_query};
+
+    #[test]
+    fn all_queries_execute_with_results() {
+        let db = generate(600);
+        for (name, plan) in all_queries(&db) {
+            let out = execute(&db, &plan)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"))
+                .output;
+            assert!(!out.is_empty(), "{name} returned no rows");
+        }
+    }
+
+    #[test]
+    fn q1_aggregates_are_consistent() {
+        let db = generate(400);
+        let out = execute(&db, &q1_plan()).unwrap().output;
+        // groups: (returnflag, linestatus) — at most 4 combos generated
+        assert!(out.len() >= 2 && out.len() <= 4, "{}", out.len());
+        for r in 0..out.len() {
+            let row = out.row(r);
+            // avg_qty ≤ max quantity, count > 0, sums positive
+            assert!(row[2] > 0 && row[9] > 0);
+            assert!(row[6] <= 50);
+            // sum_disc_price <= 100 * sum_base_price
+            assert!(row[4] <= row[3] * 100);
+        }
+    }
+
+    #[test]
+    fn parsed_q1_matches_hand_plan() {
+        let mut db = generate(300);
+        let catalog = catalog(&db);
+        let stmt = parse(Q1_SQL).expect("parse Q1");
+        let mut dict = db.dict.clone();
+        let planned = plan_query(&stmt, &catalog, &mut dict).expect("plan Q1");
+        db.dict = dict;
+        let a = execute(&db, &planned).unwrap().output;
+        let b = execute(&db, &q1_plan()).unwrap().output;
+        assert_eq!(a.cols, b.cols, "parsed and hand-built Q1 disagree");
+    }
+
+    #[test]
+    fn parsed_q3_matches_hand_plan() {
+        let mut db = generate(300);
+        let catalog = catalog(&db);
+        let stmt = parse(Q3_SQL).expect("parse Q3");
+        let mut dict = db.dict.clone();
+        let planned = plan_query(&stmt, &catalog, &mut dict).expect("plan Q3");
+        db.dict = dict;
+        let a = execute(&db, &planned).unwrap().output;
+        let b = execute(&db, &q3_plan(&db)).unwrap().output;
+        assert_eq!(a.cols, b.cols, "parsed and hand-built Q3 disagree");
+    }
+
+    #[test]
+    fn parsed_q18_matches_hand_plan() {
+        let mut db = generate(300);
+        let catalog = catalog(&db);
+        let stmt = parse(Q18_SQL).expect("parse Q18");
+        let mut dict = db.dict.clone();
+        let planned = plan_query(&stmt, &catalog, &mut dict).expect("plan Q18");
+        db.dict = dict;
+        let a = execute(&db, &planned).unwrap().output;
+        let b = execute(&db, &q18_plan()).unwrap().output;
+        // Column order differs (SELECT order vs group order); compare by
+        // the shared sort key column (o_totalprice) row multiset size.
+        assert_eq!(a.len(), b.len(), "row counts disagree");
+    }
+
+    #[test]
+    fn q8_share_is_in_basis_points() {
+        let db = generate(800);
+        let out = execute(&db, &q8_plan(&db)).unwrap().output;
+        for r in 0..out.len() {
+            let share = out.row(r)[1];
+            assert!((0..=10_000).contains(&share), "share {share}");
+        }
+    }
+
+    #[test]
+    fn q9_profit_positive_by_construction() {
+        let db = generate(500);
+        let out = execute(&db, &q9_plan()).unwrap().output;
+        assert!(!out.is_empty());
+        for r in 0..out.len() {
+            assert!(out.row(r)[2] > 0, "profit must stay positive");
+        }
+    }
+
+    #[test]
+    fn q18_has_large_orders() {
+        let db = generate(2000);
+        let out = execute(&db, &q18_plan()).unwrap().output;
+        for r in 0..out.len() {
+            assert!(out.row(r)[5] > 300);
+        }
+    }
+}

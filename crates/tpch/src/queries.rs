@@ -1,0 +1,346 @@
+//! The six TPC-H queries of the paper's evaluation (the ZKSQL subset,
+//! §5.1): Q1, Q3, Q5, Q8, Q9, Q18 — as SQL text where our dialect can
+//! express them, and as hand-built logical plans for all of them (Q8/Q9
+//! need table aliases, which the SQL planner does not support).
+//!
+//! Monetary expressions keep the paper's 64-bit-integer conversion:
+//! `1 − l_discount` becomes `100 − l_discount` with values in cents, so
+//! revenue aggregates are scaled by 100 (and charge by 10000).
+
+use poneglyph_sql::{
+    epoch_days, AggFunc, Aggregate, CmpOp, Database, Plan, Predicate, ScalarExpr,
+};
+
+fn col(i: usize) -> ScalarExpr {
+    ScalarExpr::Col(i)
+}
+fn konst(v: i64) -> ScalarExpr {
+    ScalarExpr::Const(v)
+}
+fn mul(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Mul(Box::new(a), Box::new(b))
+}
+fn sub(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Sub(Box::new(a), Box::new(b))
+}
+fn add(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Add(Box::new(a), Box::new(b))
+}
+fn div(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Div(Box::new(a), Box::new(b))
+}
+fn agg(func: AggFunc, input: ScalarExpr) -> Aggregate {
+    Aggregate { func, input }
+}
+fn scan(t: &str) -> Plan {
+    Plan::Scan { table: t.into() }
+}
+fn filter(input: Plan, predicates: Vec<Predicate>) -> Plan {
+    Plan::Filter {
+        input: Box::new(input),
+        predicates,
+    }
+}
+fn join(left: Plan, right: Plan, lk: usize, rk: usize) -> Plan {
+    Plan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_key: lk,
+        right_key: rk,
+    }
+}
+fn aggregate(input: Plan, group_by: Vec<usize>, aggs: Vec<(&str, Aggregate)>) -> Plan {
+    Plan::Aggregate {
+        input: Box::new(input),
+        group_by,
+        aggs: aggs.into_iter().map(|(n, a)| (n.to_string(), a)).collect(),
+    }
+}
+fn project(input: Plan, exprs: Vec<(&str, ScalarExpr)>) -> Plan {
+    Plan::Project {
+        input: Box::new(input),
+        exprs: exprs.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
+    }
+}
+fn sort(input: Plan, keys: Vec<(usize, bool)>) -> Plan {
+    Plan::Sort {
+        input: Box::new(input),
+        keys,
+    }
+}
+fn lt_const(c: usize, v: i64) -> Predicate {
+    Predicate::ColConst {
+        col: c,
+        op: CmpOp::Lt,
+        value: v,
+    }
+}
+fn cmp(c: usize, op: CmpOp, v: i64) -> Predicate {
+    Predicate::ColConst { col: c, op, value: v }
+}
+
+/// lineitem revenue term `l_extendedprice · (100 − l_discount)`.
+fn revenue() -> ScalarExpr {
+    mul(col(5), sub(konst(100), col(6)))
+}
+
+/// Q1 — pricing summary report.
+pub fn q1_plan() -> Plan {
+    let cutoff = epoch_days(1998, 12, 1) - 90;
+    sort(
+        aggregate(
+            filter(scan("lineitem"), vec![cmp(10, CmpOp::Le, cutoff)]),
+            vec![8, 9], // l_returnflag, l_linestatus
+            vec![
+                ("sum_qty", agg(AggFunc::Sum, col(4))),
+                ("sum_base_price", agg(AggFunc::Sum, col(5))),
+                ("sum_disc_price", agg(AggFunc::Sum, revenue())),
+                (
+                    "sum_charge",
+                    agg(AggFunc::Sum, mul(revenue(), add(konst(100), col(7)))),
+                ),
+                ("avg_qty", agg(AggFunc::Avg, col(4))),
+                ("avg_price", agg(AggFunc::Avg, col(5))),
+                ("avg_disc", agg(AggFunc::Avg, col(6))),
+                ("count_order", agg(AggFunc::Count, konst(1))),
+            ],
+        ),
+        vec![(0, false), (1, false)],
+    )
+}
+
+/// Q1 as SQL (parseable by our dialect).
+pub const Q1_SQL: &str = "SELECT l_returnflag, l_linestatus, \
+ SUM(l_quantity) AS sum_qty, SUM(l_extendedprice) AS sum_base_price, \
+ SUM(l_extendedprice * (100 - l_discount)) AS sum_disc_price, \
+ SUM(l_extendedprice * (100 - l_discount) * (100 + l_tax)) AS sum_charge, \
+ AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, \
+ AVG(l_discount) AS avg_disc, COUNT(*) AS count_order \
+ FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY \
+ GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus";
+
+/// Q3 — shipping priority.
+pub fn q3_plan(db: &Database) -> Plan {
+    let building = db.dict.get("BUILDING").unwrap_or(0);
+    let date = epoch_days(1995, 3, 15);
+    let customers = filter(scan("customer"), vec![cmp(3, CmpOp::Eq, building)]);
+    let orders = filter(scan("orders"), vec![lt_const(3, date)]);
+    let lineitem = filter(scan("lineitem"), vec![cmp(10, CmpOp::Gt, date)]);
+    // orders ⋈ customer (PK right), then lineitem ⋈ that (PK right).
+    let oc = join(orders, customers, 1, 0); // 5 + 5
+    let locs = join(lineitem, oc, 0, 0); // 11 + 10
+    Plan::Limit {
+        input: Box::new(sort(
+            project(
+                aggregate(
+                    locs,
+                    vec![0, 14, 15], // l_orderkey, o_orderdate, o_shippriority
+                    vec![("revenue", agg(AggFunc::Sum, revenue()))],
+                ),
+                vec![
+                    ("l_orderkey", col(0)),
+                    ("revenue", col(3)),
+                    ("o_orderdate", col(1)),
+                    ("o_shippriority", col(2)),
+                ],
+            ),
+            vec![(1, true), (2, false)],
+        )),
+        n: 10,
+    }
+}
+
+/// Q3 as SQL.
+pub const Q3_SQL: &str = "SELECT l_orderkey, \
+ SUM(l_extendedprice * (100 - l_discount)) AS revenue, o_orderdate, o_shippriority \
+ FROM customer, orders, lineitem \
+ WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey \
+ AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15' \
+ GROUP BY l_orderkey, o_orderdate, o_shippriority \
+ ORDER BY revenue DESC, o_orderdate LIMIT 10";
+
+/// Q5 — local supplier volume.
+pub fn q5_plan(db: &Database) -> Plan {
+    let asia = db.dict.get("ASIA").unwrap_or(0);
+    let lo = epoch_days(1994, 1, 1);
+    let hi = epoch_days(1995, 1, 1);
+    let orders = filter(
+        scan("orders"),
+        vec![cmp(3, CmpOp::Ge, lo), cmp(3, CmpOp::Lt, hi)],
+    );
+    let region = filter(scan("region"), vec![cmp(1, CmpOp::Eq, asia)]);
+    let oc = join(orders, scan("customer"), 1, 0); // 5+5
+    let l_oc = join(scan("lineitem"), oc, 0, 0); // 11+10 = 21
+    let ls = join(l_oc, scan("supplier"), 2, 0); // +3 = 24 (supplier at 21..23)
+    // same-nation requirement: c_nationkey (11+5+2 = 18) = s_nationkey (22)
+    let same_nation = filter(
+        ls,
+        vec![Predicate::ColCol {
+            left: 18,
+            op: CmpOp::Eq,
+            right: 22,
+        }],
+    );
+    let with_nation = join(same_nation, scan("nation"), 22, 0); // +3 = 27
+    let with_region = join(with_nation, region, 26, 0); // +2 = 29
+    sort(
+        project(
+            aggregate(
+                with_region,
+                vec![25], // n_name
+                vec![("revenue", agg(AggFunc::Sum, revenue()))],
+            ),
+            vec![("n_name", col(0)), ("revenue", col(1))],
+        ),
+        vec![(1, true)],
+    )
+}
+
+/// Q5 as SQL.
+pub const Q5_SQL: &str = "SELECT n_name, \
+ SUM(l_extendedprice * (100 - l_discount)) AS revenue \
+ FROM customer, orders, lineitem, supplier, nation, region \
+ WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey \
+ AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+ AND r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01' \
+ GROUP BY n_name ORDER BY revenue DESC";
+
+/// Q8 — national market share (hand-built: needs two `nation` aliases).
+pub fn q8_plan(db: &Database) -> Plan {
+    let steel = db.dict.get("ECONOMY ANODIZED STEEL").unwrap_or(0);
+    let america = db.dict.get("AMERICA").unwrap_or(0);
+    let brazil = db.dict.get("BRAZIL").unwrap_or(0);
+    let lo = epoch_days(1995, 1, 1);
+    let hi = epoch_days(1996, 12, 31);
+    let part = filter(scan("part"), vec![cmp(1, CmpOp::Eq, steel)]);
+    let orders = filter(
+        scan("orders"),
+        vec![cmp(3, CmpOp::Ge, lo), cmp(3, CmpOp::Le, hi)],
+    );
+    let region = filter(scan("region"), vec![cmp(1, CmpOp::Eq, america)]);
+    let j = join(scan("lineitem"), part, 1, 0); // 11+4 = 15
+    let j = join(j, scan("supplier"), 2, 0); // +3 = 18
+    let j = join(j, orders, 0, 0); // +5 = 23 (orders 18..22)
+    let j = join(j, scan("customer"), 19, 0); // +5 = 28 (customer 23..27)
+    let j = join(j, scan("nation"), 25, 0); // n1 via c_nationkey: +3 = 31
+    let j = join(j, region, 30, 0); // via n1.n_regionkey: +2 = 33
+    let j = join(j, scan("nation"), 16, 0); // n2 via s_nationkey: +3 = 36
+    let projected = project(
+        j,
+        vec![
+            ("o_year", ScalarExpr::ExtractYear(Box::new(col(21)))),
+            ("volume", revenue()),
+            ("nation", col(34)), // n2.n_name
+        ],
+    );
+    let grouped = aggregate(
+        projected,
+        vec![0],
+        vec![
+            (
+                "brazil_volume",
+                agg(
+                    AggFunc::Sum,
+                    ScalarExpr::CaseEq {
+                        col: 2,
+                        value: brazil,
+                        then: Box::new(col(1)),
+                        otherwise: Box::new(konst(0)),
+                    },
+                ),
+            ),
+            ("total_volume", agg(AggFunc::Sum, col(1))),
+        ],
+    );
+    sort(
+        project(
+            grouped,
+            vec![
+                ("o_year", col(0)),
+                // share in basis points (×10000), integer division
+                ("mkt_share", div(mul(col(1), konst(10_000)), col(2))),
+            ],
+        ),
+        vec![(0, false)],
+    )
+}
+
+/// Q8 reference SQL (for documentation; uses aliases beyond our dialect).
+pub const Q8_SQL: &str = "-- hand-planned: two `nation` aliases \
+ SELECT o_year, SUM(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) * 10000 / SUM(volume) \
+ FROM (...) GROUP BY o_year ORDER BY o_year";
+
+/// Q9 — product type profit (hand-built: alias + composite join key).
+///
+/// Per the paper (§5.1), the `p_name LIKE '%green%'` pattern predicate is
+/// excluded.
+pub fn q9_plan() -> Plan {
+    let j = join(scan("lineitem"), scan("part"), 1, 0); // 15
+    let j = join(j, scan("supplier"), 2, 0); // 18
+    let j = join(j, scan("partsupp"), 3, 0); // via packed ps key: +5 = 23
+    let j = join(j, scan("orders"), 0, 0); // +5 = 28
+    let j = join(j, scan("nation"), 16, 0); // s_nationkey: +3 = 31
+    let projected = project(
+        j,
+        vec![
+            ("nation", col(29)), // n_name
+            ("o_year", ScalarExpr::ExtractYear(Box::new(col(26)))),
+            (
+                "amount",
+                // l_extendedprice·(100−l_discount) − ps_supplycost·l_quantity·100
+                sub(revenue(), mul(col(21), mul(col(4), konst(100)))),
+            ),
+        ],
+    );
+    sort(
+        aggregate(
+            projected,
+            vec![0, 1],
+            vec![("sum_profit", agg(AggFunc::Sum, col(2)))],
+        ),
+        vec![(0, false), (1, true)],
+    )
+}
+
+/// Q9 reference SQL.
+pub const Q9_SQL: &str = "-- hand-planned: composite partsupp key packed into ps_pskey \
+ SELECT nation, o_year, SUM(amount) FROM (...) GROUP BY nation, o_year \
+ ORDER BY nation, o_year DESC";
+
+/// Q18 — large volume customers (IN-subquery rewritten to HAVING, which is
+/// equivalent because the groups coincide with the subquery's groups).
+pub fn q18_plan() -> Plan {
+    let oc = join(scan("orders"), scan("customer"), 1, 0); // 5+5
+    let j = join(scan("lineitem"), oc, 0, 0); // 11+10 = 21
+    let grouped = aggregate(
+        j,
+        // c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+        vec![17, 16, 11, 14, 13],
+        vec![("sum_qty", agg(AggFunc::Sum, col(4)))],
+    );
+    let having = filter(grouped, vec![cmp(5, CmpOp::Gt, 300)]);
+    Plan::Limit {
+        input: Box::new(sort(having, vec![(4, true), (3, false)])),
+        n: 100,
+    }
+}
+
+/// Q18 as SQL.
+pub const Q18_SQL: &str = "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, \
+ SUM(l_quantity) AS sum_qty FROM customer, orders, lineitem \
+ WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey \
+ GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+ HAVING SUM(l_quantity) > 300 \
+ ORDER BY o_totalprice DESC, o_orderdate LIMIT 100";
+
+/// All six evaluated queries, in the paper's order.
+pub fn all_queries(db: &Database) -> Vec<(&'static str, Plan)> {
+    vec![
+        ("Q1", q1_plan()),
+        ("Q3", q3_plan(db)),
+        ("Q5", q5_plan(db)),
+        ("Q8", q8_plan(db)),
+        ("Q9", q9_plan()),
+        ("Q18", q18_plan()),
+    ]
+}

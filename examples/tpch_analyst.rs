@@ -1,0 +1,61 @@
+//! The paper's evaluation workload as an application: generate a scaled
+//! TPC-H database, run the six benchmark queries (Q1, Q3, Q5, Q8, Q9, Q18)
+//! and prove/verify the first of them end-to-end.
+//!
+//! ```sh
+//! cargo run --release --example tpch_analyst [lineitem_rows]
+//! ```
+
+use poneglyphdb::prelude::*;
+use poneglyphdb::tpch;
+use rand::SeedableRng;
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let db = tpch::generate(rows);
+    println!(
+        "TPC-H at {} lineitem rows ({} orders, {} customers)",
+        rows,
+        db.table("orders").unwrap().len(),
+        db.table("customer").unwrap().len()
+    );
+
+    // Plain (unproven) execution of all six queries.
+    for (name, plan) in tpch::all_queries(&db) {
+        let out = execute(&db, &plan).expect("execute").output;
+        println!("  {name}: {} result rows", out.len());
+    }
+
+    // Prove + verify Q1 (the pricing summary report).
+    let params = IpaParams::setup(12);
+    let plan = tpch::q1_plan();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let t = std::time::Instant::now();
+    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+    println!(
+        "Q1 proven in {:.2?} ({} byte proof, 2^{} circuit)",
+        t.elapsed(),
+        response.proof_size(),
+        response.k
+    );
+    let shape = database_shape(&db);
+    let t = std::time::Instant::now();
+    let result = verify_query(&params, &shape, &plan, &response).expect("verify");
+    println!("Q1 verified in {:.2?}:", t.elapsed());
+    for r in 0..result.len() {
+        let row = result.row(r);
+        println!(
+            "  flag={} status={}: qty={} base={} disc={} charge={} count={}",
+            db.dict.resolve(row[0]).unwrap_or("?"),
+            db.dict.resolve(row[1]).unwrap_or("?"),
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+            row[9],
+        );
+    }
+}

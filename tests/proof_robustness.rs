@@ -1,0 +1,134 @@
+//! Adversarial robustness: malformed or mutated proof bytes must never
+//! verify, and never panic the verifier.
+
+use poneglyph_core::{database_shape, prove_query, verify_query};
+use poneglyph_pcs::IpaParams;
+use poneglyph_plonkish::Proof;
+use poneglyph_sql::{AggFunc, Aggregate, CmpOp, Plan, Predicate, ScalarExpr};
+use rand::SeedableRng;
+
+fn small_query() -> Plan {
+    Plan::Aggregate {
+        input: Box::new(Plan::Filter {
+            input: Box::new(Plan::Scan {
+                table: "lineitem".into(),
+            }),
+            predicates: vec![Predicate::ColConst {
+                col: 4,
+                op: CmpOp::Lt,
+                value: 24,
+            }],
+        }),
+        group_by: vec![8],
+        aggs: vec![(
+            "s".into(),
+            Aggregate {
+                func: AggFunc::Sum,
+                input: ScalarExpr::Col(4),
+            },
+        )],
+    }
+}
+
+#[test]
+fn proof_bytes_roundtrip_and_mutations_fail() {
+    let db = poneglyph_tpch::generate(16);
+    let params = IpaParams::setup(10);
+    let plan = small_query();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+    let shape = database_shape(&db);
+    verify_query(&params, &shape, &plan, &response).expect("baseline verifies");
+
+    let bytes = response.proof.to_bytes();
+    // Round trip.
+    let back = Proof::from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(back, response.proof);
+
+    // Truncations never parse (or never verify).
+    for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+        if let Some(p) = Proof::from_bytes(&bytes[..cut]) {
+            let mut forged = response.clone();
+            forged.proof = p;
+            assert!(
+                verify_query(&params, &shape, &plan, &forged).is_err(),
+                "truncated-at-{cut} proof must not verify"
+            );
+        }
+    }
+
+    // Single-byte corruptions at scattered offsets: either unparseable or
+    // rejected by the verifier. (Point encodings reject off-curve data,
+    // scalar encodings reject non-canonical values.)
+    for i in (0..bytes.len()).step_by(bytes.len() / 23 + 1) {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 0x2d;
+        if let Some(p) = Proof::from_bytes(&mutated) {
+            if p == response.proof {
+                continue; // mutation hit padding that decodes identically
+            }
+            let mut forged = response.clone();
+            forged.proof = p;
+            assert!(
+                verify_query(&params, &shape, &plan, &forged).is_err(),
+                "byte-flip at {i} must not verify"
+            );
+        }
+    }
+}
+
+#[test]
+fn proof_for_one_query_rejected_for_another() {
+    let db = poneglyph_tpch::generate(16);
+    let params = IpaParams::setup(10);
+    let plan_a = small_query();
+    let plan_b = Plan::Aggregate {
+        input: Box::new(Plan::Filter {
+            input: Box::new(Plan::Scan {
+                table: "lineitem".into(),
+            }),
+            predicates: vec![Predicate::ColConst {
+                col: 4,
+                op: CmpOp::Lt,
+                value: 30, // different constant => different circuit
+            }],
+        }),
+        group_by: vec![8],
+        aggs: vec![(
+            "s".into(),
+            Aggregate {
+                func: AggFunc::Sum,
+                input: ScalarExpr::Col(4),
+            },
+        )],
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let response = prove_query(&params, &db, &plan_a, &mut rng).expect("prove");
+    let shape = database_shape(&db);
+    assert!(
+        verify_query(&params, &shape, &plan_b, &response).is_err(),
+        "a proof must be bound to its query"
+    );
+}
+
+#[test]
+fn proof_bound_to_database_contents() {
+    // The same query over a *different* database must not verify against
+    // the original response (the instance differs), and the original
+    // response must not verify if the claimed result is altered.
+    let db = poneglyph_tpch::generate(16);
+    let params = IpaParams::setup(10);
+    let plan = small_query();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+    let shape = database_shape(&db);
+
+    let mut altered = response.clone();
+    if !altered.result.is_empty() {
+        altered.result.cols[1][0] += 1;
+        assert!(
+            verify_query(&params, &shape, &plan, &altered).is_err(),
+            "result/instance mismatch must be rejected"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Integration: every TPC-H query of the paper's evaluation compiles to a
+//! satisfiable circuit (mock-proved — no cryptography, so this stays fast
+//! enough to run at every commit).
+
+use poneglyph_core::check_query;
+use poneglyph_tpch::{all_queries, generate};
+
+#[test]
+fn all_six_tpch_queries_satisfy_their_circuits() {
+    let db = generate(120);
+    for (name, plan) in all_queries(&db) {
+        check_query(&db, &plan).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn executor_results_match_instance_extraction() {
+    use poneglyph_core::{compile, GateSet};
+    use poneglyph_sql::execute;
+
+    let db = generate(100);
+    for (name, plan) in all_queries(&db) {
+        let trace = execute(&db, &plan).unwrap();
+        let compiled = compile(&db, &plan, Some(&trace), GateSet::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // the number of real rows in the instance equals the result size
+        let real_count = compiled.instance[0]
+            .iter()
+            .filter(|v| **v == poneglyph_arith::Fq::from(1u64))
+            .count();
+        assert_eq!(real_count, trace.output.len(), "{name} cardinality");
+    }
+}
