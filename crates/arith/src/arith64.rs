@@ -157,7 +157,11 @@ mod tests {
 
     #[test]
     fn mont_inv_is_neg_inverse() {
-        for p0 in [0x992d30ed00000001u64, 0x8c46eb2100000001u64, 0xffffffff00000001] {
+        for p0 in [
+            0x992d30ed00000001u64,
+            0x8c46eb2100000001u64,
+            0xffffffff00000001,
+        ] {
             let inv = mont_inv(p0);
             assert_eq!(p0.wrapping_mul(inv), 1u64.wrapping_neg());
         }

@@ -31,10 +31,8 @@ macro_rules! impl_prime_field {
             /// `R^3 mod p`, used for wide reduction.
             pub const R3: [u64; 4] = $crate::arith64::pow2_mod(768, &Self::MODULUS);
             /// Odd part `t` of `p - 1 = 2^s · t`.
-            pub const T: [u64; 4] = $crate::arith64::shr4(
-                &$crate::arith64::dec4(&Self::MODULUS),
-                $two_adicity,
-            );
+            pub const T: [u64; 4] =
+                $crate::arith64::shr4(&$crate::arith64::dec4(&Self::MODULUS), $two_adicity);
             /// `(t - 1) / 2`.
             pub const T_MINUS_1_OVER_2: [u64; 4] =
                 $crate::arith64::shr4(&$crate::arith64::dec4(&Self::T), 1);
@@ -42,9 +40,8 @@ macro_rules! impl_prime_field {
             pub const P_MINUS_1_OVER_2: [u64; 4] =
                 $crate::arith64::shr4(&$crate::arith64::dec4(&Self::MODULUS), 1);
             /// `p - 2`, the inversion exponent.
-            pub const P_MINUS_2: [u64; 4] = $crate::arith64::dec4(
-                &$crate::arith64::dec4(&Self::MODULUS),
-            );
+            pub const P_MINUS_2: [u64; 4] =
+                $crate::arith64::dec4(&$crate::arith64::dec4(&Self::MODULUS));
 
             /// The additive identity.
             pub const ZERO: Self = Self([0, 0, 0, 0]);
@@ -172,9 +169,7 @@ macro_rules! impl_prime_field {
             /// Canonical limbs (out of Montgomery form).
             #[inline]
             pub const fn to_canonical_limbs(&self) -> [u64; 4] {
-                Self::mont_reduce([
-                    self.0[0], self.0[1], self.0[2], self.0[3], 0, 0, 0, 0,
-                ])
+                Self::mont_reduce([self.0[0], self.0[1], self.0[2], self.0[3], 0, 0, 0, 0])
             }
         }
 
@@ -335,8 +330,7 @@ macro_rules! impl_prime_field {
                 }
                 // value = lo + hi·2^256  =>  mont(lo·R2) + mont(hi·R3) gives
                 // (lo + hi·2^256)·R mod p.
-                Self(Self::mont_mul(&lo, &Self::R2))
-                    + Self(Self::mont_mul(&hi, &Self::R3))
+                Self(Self::mont_mul(&lo, &Self::R2)) + Self(Self::mont_mul(&hi, &Self::R3))
             }
 
             #[inline]

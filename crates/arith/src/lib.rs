@@ -85,10 +85,7 @@ mod tests {
                     let b = $f::from_u64(987654321);
                     assert_eq!(a + b, $f::from_u64(123456789 + 987654321));
                     assert_eq!(b - a, $f::from_u64(987654321 - 123456789));
-                    assert_eq!(
-                        a * b,
-                        $f::from_u128(123456789u128 * 987654321u128)
-                    );
+                    assert_eq!(a * b, $f::from_u128(123456789u128 * 987654321u128));
                     assert_eq!(a - b, -(b - a));
                     assert_eq!(a + $f::ZERO, a);
                     assert_eq!(a * $f::ONE, a);
@@ -118,8 +115,7 @@ mod tests {
                 #[test]
                 fn batch_inversion_matches_single() {
                     let mut r = rng();
-                    let mut vals: Vec<$f> =
-                        (0..33).map(|_| $f::random(&mut r)).collect();
+                    let mut vals: Vec<$f> = (0..33).map(|_| $f::random(&mut r)).collect();
                     vals[7] = $f::ZERO;
                     vals[20] = $f::ZERO;
                     let expected: Vec<$f> = vals

@@ -130,7 +130,7 @@ pub trait PrimeField:
             None => return 0, // only possible when all entries are zero
         };
         let mut count = 0;
-        for (v, p) in values.iter_mut().zip(prod.into_iter()).rev() {
+        for (v, p) in values.iter_mut().zip(prod).rev() {
             if !v.is_zero() {
                 let tmp = inv * *v;
                 *v = inv * p;

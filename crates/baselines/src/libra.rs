@@ -249,12 +249,10 @@ pub fn prove(circuit: &LayeredCircuit, inputs: &[Fq]) -> GkrProof {
     for (li, layer) in circuit.layers.iter().enumerate().rev() {
         let v_prev = &values[li];
         let width = v_prev.len();
-        let k = width.trailing_zeros() as usize;
 
         // Phase 1 over x: F(x) = V(x)·G1(x) + G2(x).
         let t = phase1_tables(layer, &claim_coeff, v_prev, width);
-        let (phase1, u) =
-            sumcheck_product(&mut transcript, v_prev.to_vec(), t.g1, t.g2);
+        let (phase1, u) = sumcheck_product(&mut transcript, v_prev.to_vec(), t.g1, t.g2);
         let v_u = mle_eval(v_prev, &u);
         transcript.absorb_scalar(b"v_u", &v_u);
 
@@ -276,8 +274,7 @@ pub fn prove(circuit: &LayeredCircuit, inputs: &[Fq]) -> GkrProof {
                 }
             }
         }
-        let (phase2, w_pt) =
-            sumcheck_product(&mut transcript, v_prev.to_vec(), a2, b2);
+        let (phase2, w_pt) = sumcheck_product(&mut transcript, v_prev.to_vec(), a2, b2);
         let v_w = mle_eval(v_prev, &w_pt);
         transcript.absorb_scalar(b"v_w", &v_w);
 
@@ -334,8 +331,11 @@ pub fn verify(circuit: &LayeredCircuit, inputs: &[Fq], proof: &GkrProof) -> bool
             if msg[0] + msg[1] != running {
                 return false;
             }
-            for (label, val) in [(&b"p0"[..], msg[0]), (&b"p1"[..], msg[1]), (&b"p2"[..], msg[2])]
-            {
+            for (label, val) in [
+                (&b"p0"[..], msg[0]),
+                (&b"p1"[..], msg[1]),
+                (&b"p2"[..], msg[2]),
+            ] {
                 transcript.absorb_scalar(label, &val);
             }
             let r: Fq = transcript.challenge_scalar(b"sumcheck-r");
@@ -354,8 +354,11 @@ pub fn verify(circuit: &LayeredCircuit, inputs: &[Fq], proof: &GkrProof) -> bool
             if msg[0] + msg[1] != running2 {
                 return false;
             }
-            for (label, val) in [(&b"p0"[..], msg[0]), (&b"p1"[..], msg[1]), (&b"p2"[..], msg[2])]
-            {
+            for (label, val) in [
+                (&b"p0"[..], msg[0]),
+                (&b"p1"[..], msg[1]),
+                (&b"p2"[..], msg[2]),
+            ] {
                 transcript.absorb_scalar(label, &val);
             }
             let r: Fq = transcript.challenge_scalar(b"sumcheck-r");
@@ -420,10 +423,7 @@ mod tests {
             num_inputs: 4,
             layers: vec![
                 Layer {
-                    gates: vec![
-                        (GateKind::Add, 0, 1),
-                        (GateKind::Sub, 2, 3),
-                    ],
+                    gates: vec![(GateKind::Add, 0, 1), (GateKind::Sub, 2, 3)],
                 },
                 Layer {
                     gates: vec![(GateKind::Mul, 0, 1)],

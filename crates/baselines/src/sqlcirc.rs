@@ -194,13 +194,7 @@ pub fn filter_count_circuit(
         count = half + odd;
     }
 
-    (
-        LayeredCircuit {
-            num_inputs,
-            layers,
-        },
-        inputs,
-    )
+    (LayeredCircuit { num_inputs, layers }, inputs)
 }
 
 #[cfg(test)]
@@ -220,10 +214,7 @@ mod tests {
 
     #[test]
     fn multi_column_conjunction() {
-        let columns = vec![
-            vec![3u64, 10, 7, 2],
-            vec![5u64, 1, 9, 4],
-        ];
+        let columns = vec![vec![3u64, 10, 7, 2], vec![5u64, 1, 9, 4]];
         let thresholds = vec![8u64, 6u64];
         let (circuit, inputs) = filter_count_circuit(&columns, &thresholds, 8);
         let values = circuit.evaluate(&inputs);

@@ -107,9 +107,7 @@ fn decompose(
             left_key: *left_key,
             right_key: *right_key,
         },
-        Plan::Aggregate {
-            group_by, aggs, ..
-        } => Plan::Aggregate {
+        Plan::Aggregate { group_by, aggs, .. } => Plan::Aggregate {
             input: Box::new(Plan::Scan {
                 table: child_names[0].clone(),
             }),
@@ -133,7 +131,10 @@ fn decompose(
     // its output as the next temp table.
     let mut combined = scratch.clone();
     for (name, t) in &db.tables {
-        combined.tables.entry(name.clone()).or_insert_with(|| t.clone());
+        combined
+            .tables
+            .entry(name.clone())
+            .or_insert_with(|| t.clone());
     }
     let output = execute(&combined, &rewritten)
         .map_err(|e| e.to_string())?
@@ -190,7 +191,10 @@ pub fn prove_interactive(
         let compiled = compile(&combined, &sub, Some(&trace), gates)?;
         let k = compiled.asn.k;
         if k > params.k {
-            return Err(format!("operator circuit 2^{k} exceeds params 2^{}", params.k));
+            return Err(format!(
+                "operator circuit 2^{k} exceeds params 2^{}",
+                params.k
+            ));
         }
         let params_k = params.truncate(k);
         let pk = keygen(&params_k, &compiled.cs, &compiled.asn);
@@ -226,15 +230,11 @@ pub fn prove_interactive(
 
 /// Verify every round of an interactive session (the designated verifier
 /// re-derives each operator circuit and checks its proof and chaining).
-pub fn verify_interactive(
-    params: &IpaParams,
-    session: &InteractiveSession,
-) -> Result<(), String> {
+pub fn verify_interactive(params: &IpaParams, session: &InteractiveSession) -> Result<(), String> {
     // Registry of intermediate outputs: later rounds must consume exactly
     // what earlier rounds produced (the chaining check ZKSQL performs with
     // intermediate commitments).
-    let mut registry: std::collections::HashMap<&str, &Table> =
-        std::collections::HashMap::new();
+    let mut registry: std::collections::HashMap<&str, &Table> = std::collections::HashMap::new();
     for round in &session.rounds {
         for (name, table) in &round.inputs {
             if name.starts_with("zk_tmp_") {

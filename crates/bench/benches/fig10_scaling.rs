@@ -10,8 +10,14 @@ use poneglyph_tpch::generate;
 fn bench(c: &mut Criterion) {
     let params = IpaParams::setup(11);
     let plan = Plan::Filter {
-        input: Box::new(Plan::Scan { table: "lineitem".into() }),
-        predicates: vec![Predicate::ColConst { col: 4, op: CmpOp::Lt, value: 24 }],
+        input: Box::new(Plan::Scan {
+            table: "lineitem".into(),
+        }),
+        predicates: vec![Predicate::ColConst {
+            col: 4,
+            op: CmpOp::Lt,
+            value: 24,
+        }],
     };
     let mut g = c.benchmark_group("fig10_scaling");
     g.sample_size(10);

@@ -12,11 +12,23 @@ use poneglyph_tpch::generate;
 fn micro_plan() -> Plan {
     Plan::Aggregate {
         input: Box::new(Plan::Filter {
-            input: Box::new(Plan::Scan { table: "lineitem".into() }),
-            predicates: vec![Predicate::ColConst { col: 4, op: CmpOp::Lt, value: 24 }],
+            input: Box::new(Plan::Scan {
+                table: "lineitem".into(),
+            }),
+            predicates: vec![Predicate::ColConst {
+                col: 4,
+                op: CmpOp::Lt,
+                value: 24,
+            }],
         }),
         group_by: vec![8],
-        aggs: vec![("s".into(), Aggregate { func: AggFunc::Sum, input: ScalarExpr::Col(4) })],
+        aggs: vec![(
+            "s".into(),
+            Aggregate {
+                func: AggFunc::Sum,
+                input: ScalarExpr::Col(4),
+            },
+        )],
     }
 }
 

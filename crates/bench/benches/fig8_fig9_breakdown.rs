@@ -11,13 +11,22 @@ fn bench(c: &mut Criterion) {
     let db = generate(16);
     let params = IpaParams::setup(10);
     let plan = Plan::Filter {
-        input: Box::new(Plan::Scan { table: "lineitem".into() }),
-        predicates: vec![Predicate::ColConst { col: 4, op: CmpOp::Lt, value: 24 }],
+        input: Box::new(Plan::Scan {
+            table: "lineitem".into(),
+        }),
+        predicates: vec![Predicate::ColConst {
+            col: 4,
+            op: CmpOp::Lt,
+            value: 24,
+        }],
     };
     let trace = execute(&db, &plan).expect("exec");
     let mut g = c.benchmark_group("fig8_fig9_breakdown");
     g.sample_size(10);
-    for (stage, gates) in [("no_gates", GateSet::none()), ("all_gates", GateSet::default())] {
+    for (stage, gates) in [
+        ("no_gates", GateSet::none()),
+        ("all_gates", GateSet::default()),
+    ] {
         g.bench_function(stage, |b| {
             b.iter(|| {
                 let compiled = compile(&db, &plan, Some(&trace), gates).expect("compile");

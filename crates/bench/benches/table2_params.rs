@@ -6,9 +6,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_params");
     g.sample_size(10);
     for k in [8u32, 9, 10] {
-        g.bench_function(format!("setup_2^{k}"), |b| {
-            b.iter(|| IpaParams::setup(k))
-        });
+        g.bench_function(format!("setup_2^{k}"), |b| b.iter(|| IpaParams::setup(k)));
     }
     g.finish();
 }

@@ -70,7 +70,9 @@ fn fig7() {
             mb(z.peak_bytes),
         );
     }
-    println!("(paper: comparable times; PoneglyphDB wins Q1/Q9 by >=40%; memory 23-60% of ZKSQL)\n");
+    println!(
+        "(paper: comparable times; PoneglyphDB wins Q1/Q9 by >=40%; memory 23-60% of ZKSQL)\n"
+    );
 }
 
 fn breakdown_fig(name: &str, figure: &str) {

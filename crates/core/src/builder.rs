@@ -84,7 +84,8 @@ impl Builder {
             byte_table,
         };
         for i in 0..256usize {
-            b.fixed_writes.push((b.byte_table, i, Fq::from_u64(i as u64)));
+            b.fixed_writes
+                .push((b.byte_table, i, Fq::from_u64(i as u64)));
         }
         b.rows = 256;
         b
@@ -248,10 +249,7 @@ impl Builder {
         let mut weight = Fq::ONE;
         for i in 0..nbits {
             let vals: Vec<Fq> = if self.with_witness {
-                values
-                    .iter()
-                    .map(|v| Fq::from_u64((v >> i) & 1))
-                    .collect()
+                values.iter().map(|v| Fq::from_u64((v >> i) & 1)).collect()
             } else {
                 Vec::new()
             };
@@ -264,10 +262,8 @@ impl Builder {
             recomposed = recomposed + be * weight;
             weight = weight.double();
         }
-        self.cs.create_gate(
-            "bit-decompose",
-            vec![qe * (col_expr(col) - recomposed)],
-        );
+        self.cs
+            .create_gate("bit-decompose", vec![qe * (col_expr(col) - recomposed)]);
         self.need_rows(cap);
     }
 
@@ -292,8 +288,8 @@ impl Builder {
                 .map(|(xv, tv)| {
                     let thresh = tv + offset;
                     let lt = (*xv as u128) < thresh as u128;
-                    let d = (*xv as i128) - (thresh as i128)
-                        + if lt { VALUE_BOUND as i128 } else { 0 };
+                    let d =
+                        (*xv as i128) - (thresh as i128) + if lt { VALUE_BOUND as i128 } else { 0 };
                     debug_assert!((0..VALUE_BOUND as i128).contains(&d));
                     (lt, d as u64)
                 })

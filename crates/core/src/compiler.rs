@@ -12,7 +12,7 @@ use crate::builder::Builder;
 use crate::encode::{encode, MAX_VALUE, VALUE_BOUND, VALUE_BYTES};
 use poneglyph_arith::{Fq, PrimeField};
 use poneglyph_plonkish::{Assignment, Cell, Column, ConstraintSystem, Expression, Rotation};
-use poneglyph_sql::{AggFunc, CmpOp, Database, Executed, Plan, Predicate, ScalarExpr, Table};
+use poneglyph_sql::{AggFunc, CmpOp, Database, Executed, Plan, Predicate, ScalarExpr};
 use std::collections::HashMap;
 
 /// Which constraint families to emit — used by the Figure 8/9 breakdown
@@ -135,11 +135,7 @@ pub fn compile(
         instance.push(pad_instance(vals, masked.cap));
     }
     let output_cap = masked.cap;
-    let lookup = |name: &str| {
-        db.table(name)
-            .map(|t| t.schema.clone())
-            .unwrap_or_default()
-    };
+    let lookup = |name: &str| db.table(name).map(|t| t.schema.clone()).unwrap_or_default();
     let output_names = plan
         .schema(&lookup)
         .columns
@@ -183,19 +179,6 @@ struct Compiler<'a> {
 }
 
 impl<'a> Compiler<'a> {
-    /// Static capacity of an operator's output region.
-    fn cap_of(&self, plan: &Plan) -> usize {
-        match plan {
-            Plan::Scan { table } => self.db.table(table).map(|t| t.len()).unwrap_or(0).max(1),
-            Plan::Filter { input, .. }
-            | Plan::Project { input, .. }
-            | Plan::Aggregate { input, .. }
-            | Plan::Sort { input, .. } => self.cap_of(input),
-            Plan::Join { left, .. } => self.cap_of(left),
-            Plan::Limit { input, n } => (*n).min(self.cap_of(input)).max(1),
-        }
-    }
-
     fn node(&mut self, plan: &Plan, trace: Option<&Executed>) -> Result<Region, String> {
         if let Some(t) = trace {
             if t.plan.op_name() != plan.op_name() {
@@ -270,12 +253,9 @@ impl<'a> Compiler<'a> {
             vals.push(v);
         }
         let reals: Vec<bool> = (0..cap).map(|r| r < t.len()).collect();
-        let real = self.b.advice_u64(
-            &reals
-                .iter()
-                .map(|b| *b as u64)
-                .collect::<Vec<_>>(),
-        );
+        let real = self
+            .b
+            .advice_u64(&reals.iter().map(|b| *b as u64).collect::<Vec<_>>());
         self.b.cs.create_gate(
             "scan-real",
             vec![
@@ -555,7 +535,8 @@ impl<'a> Compiler<'a> {
                     "div",
                     vec![
                         qe * re.clone()
-                            * (ea - Expression::advice(quot.index) * eb.clone()
+                            * (ea
+                                - Expression::advice(quot.index) * eb.clone()
                                 - Expression::advice(rem.index)),
                     ],
                 );
@@ -578,7 +559,8 @@ impl<'a> Compiler<'a> {
                     eb - Expression::advice(rem.index) - Expression::Constant(Fq::ONE),
                     &slack_fq,
                 );
-                self.b.range_check(input.q, slack, VALUE_BYTES, &slack_v, cap);
+                self.b
+                    .range_check(input.q, slack, VALUE_BYTES, &slack_v, cap);
                 Ok((Expression::advice(quot.index), qv))
             }
             ScalarExpr::CaseEq {
@@ -621,10 +603,7 @@ impl<'a> Compiler<'a> {
                 Ok((Expression::advice(out.index), outv))
             }
             ScalarExpr::ExtractYear(inner) => {
-                let (date_col, datev) = self.scalar_column(
-                    input,
-                    inner.as_ref(),
-                )?;
+                let (date_col, datev) = self.scalar_column(input, inner.as_ref())?;
                 // Fixed (day, year) table over the public TPC-H date range.
                 let lo = poneglyph_sql::epoch_days(1992, 1, 1);
                 let hi = poneglyph_sql::epoch_days(1999, 1, 1);
@@ -634,12 +613,7 @@ impl<'a> Compiler<'a> {
                     .collect();
                 let years: Vec<(usize, Fq)> = (lo..=hi)
                     .enumerate()
-                    .map(|(i, d)| {
-                        (
-                            i,
-                            Fq::from_u64(poneglyph_sql::year_of_epoch_days(d) as u64),
-                        )
-                    })
+                    .map(|(i, d)| (i, Fq::from_u64(poneglyph_sql::year_of_epoch_days(d) as u64)))
                     .collect();
                 let day_col = self.b.fixed_values(&days);
                 let year_col = self.b.fixed_values(&years);
@@ -1124,10 +1098,7 @@ impl<'a> Compiler<'a> {
                             vec![
                                 Expression::fixed(q_rest.index)
                                     * (Expression::advice(tcol.index)
-                                        - Expression::advice_at(
-                                            run_placeholder(),
-                                            Rotation::PREV,
-                                        )),
+                                        - Expression::advice_at(run_placeholder(), Rotation::PREV)),
                             ],
                         );
                     }
@@ -1182,9 +1153,7 @@ impl<'a> Compiler<'a> {
         // 5. End-of-group bits and output shuffle.
         let evals: Vec<bool> = if witness {
             (0..cap)
-                .map(|r| {
-                    sorted.reals[r] && (r + 1 == cap || !same_vals[r + 1])
-                })
+                .map(|r| sorted.reals[r] && (r + 1 == cap || !same_vals[r + 1]))
                 .collect()
         } else {
             Vec::new()
@@ -1207,8 +1176,7 @@ impl<'a> Compiler<'a> {
                             - re.clone()
                                 * (Expression::Constant(Fq::ONE)
                                     - Expression::advice_at(same.index, Rotation::NEXT))),
-                    Expression::fixed(q_lastrow.index)
-                        * (Expression::advice(ecol.index) - re),
+                    Expression::fixed(q_lastrow.index) * (Expression::advice(ecol.index) - re),
                 ],
             );
         }
@@ -1414,7 +1382,15 @@ impl<'a> Compiler<'a> {
             self.b.cs.add_lookup("join-source", lhs, rhs);
             // Completeness: unmatched real left rows prove non-membership
             // through the sorted unique key column (strict sort = dedup).
-            self.join_completeness(left, right, left_key, right_key, mcol, &m_vals, &sorted_keys)?;
+            self.join_completeness(
+                left,
+                right,
+                left_key,
+                right_key,
+                mcol,
+                &m_vals,
+                &sorted_keys,
+            )?;
         }
 
         let mut cols = left.cols.clone();
@@ -1456,8 +1432,7 @@ impl<'a> Compiler<'a> {
         ]);
         let q_sent = {
             let col = self.b.cs.fixed_column();
-            self.b
-                .write_fixed(col, right.cap, Fq::ONE);
+            self.b.write_fixed(col, right.cap, Fq::ONE);
             self.b.write_fixed(col, right.cap + 1, Fq::ONE);
             col
         };
@@ -1594,8 +1569,7 @@ impl<'a> Compiler<'a> {
             ],
             vec![
                 ske2.clone() * Expression::advice(pairok.index),
-                ske2.clone()
-                    * (Expression::advice(pairok.index) * Expression::advice(sk.index)),
+                ske2.clone() * (Expression::advice(pairok.index) * Expression::advice(sk.index)),
                 ske2 * (Expression::advice(pairok.index)
                     * Expression::advice_at(sk.index, Rotation::NEXT)),
             ],
@@ -1774,9 +1748,7 @@ fn rewrite_placeholder(e: Expression<Fq>, mcol: Column) -> Expression<Fq> {
             Expression::Var(q)
         }
         Expression::Negated(i) => Expression::Negated(Box::new(rewrite_placeholder(*i, mcol))),
-        Expression::Scaled(i, s) => {
-            Expression::Scaled(Box::new(rewrite_placeholder(*i, mcol)), s)
-        }
+        Expression::Scaled(i, s) => Expression::Scaled(Box::new(rewrite_placeholder(*i, mcol)), s),
         Expression::Sum(a, b) => Expression::Sum(
             Box::new(rewrite_placeholder(*a, mcol)),
             Box::new(rewrite_placeholder(*b, mcol)),

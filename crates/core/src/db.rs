@@ -83,7 +83,9 @@ impl CommitmentRegistry {
     pub fn publish(&mut self, label: &str, digest: [u8; 64]) -> Result<(), String> {
         if let Some((_, existing)) = self.entries.iter().find(|(l, _)| l == label) {
             if *existing != digest {
-                return Err(format!("label '{label}' already bound to a different digest"));
+                return Err(format!(
+                    "label '{label}' already bound to a different digest"
+                ));
             }
             return Ok(());
         }
@@ -157,8 +159,7 @@ pub fn prover_setup(
     plan: &Plan,
 ) -> Result<(CompiledQuery, ProvingKey, IpaParams), DbError> {
     let trace = execute(db, plan).map_err(|e| DbError::Execute(e.to_string()))?;
-    let compiled = compile(db, plan, Some(&trace), GateSet::default())
-        .map_err(DbError::Compile)?;
+    let compiled = compile(db, plan, Some(&trace), GateSet::default()).map_err(DbError::Compile)?;
     let k = compiled.asn.k;
     if k > params.k {
         return Err(DbError::Compile(format!(
@@ -182,8 +183,8 @@ pub fn prove_query(
     let result = trace.output.clone();
     let (compiled, pk, params_k) = prover_setup(params, db, plan)?;
     let instance = compiled.instance.clone();
-    let proof = prove(&params_k, &pk, compiled.asn, rng)
-        .map_err(|e| DbError::Prove(e.to_string()))?;
+    let proof =
+        prove(&params_k, &pk, compiled.asn, rng).map_err(|e| DbError::Prove(e.to_string()))?;
     Ok(QueryResponse {
         result,
         instance,
@@ -195,8 +196,7 @@ pub fn prove_query(
 /// Check a query circuit's constraints without proving (fast debugging).
 pub fn check_query(db: &Database, plan: &Plan) -> Result<(), DbError> {
     let trace = execute(db, plan).map_err(|e| DbError::Execute(e.to_string()))?;
-    let compiled = compile(db, plan, Some(&trace), GateSet::default())
-        .map_err(DbError::Compile)?;
+    let compiled = compile(db, plan, Some(&trace), GateSet::default()).map_err(DbError::Compile)?;
     mock_prove(&compiled.cs, &compiled.asn).map_err(|errs| {
         DbError::Constraint(
             errs.iter()

@@ -84,8 +84,7 @@ pub fn set_disjoint_circuit(a: &[i64], b: &[i64]) -> Builder {
         "disjoint-strict",
         vec![
             Expression::fixed(q_pair.index)
-                * (Expression::advice(dc.index)
-                    - Expression::advice_at(mc.index, Rotation::NEXT)
+                * (Expression::advice(dc.index) - Expression::advice_at(mc.index, Rotation::NEXT)
                     + Expression::advice(mc.index)
                     + Expression::Constant(Fq::ONE)),
         ],
@@ -163,8 +162,7 @@ pub fn median_circuit(values: &[i64], claimed: i64) -> Builder {
         "median-sorted",
         vec![
             Expression::fixed(q_pair.index)
-                * (Expression::advice(dc.index)
-                    - Expression::advice_at(sc.index, Rotation::NEXT)
+                * (Expression::advice(dc.index) - Expression::advice_at(sc.index, Rotation::NEXT)
                     + Expression::advice(sc.index)),
         ],
     );
@@ -198,7 +196,6 @@ pub fn variance_circuit(values: &[i64]) -> (Builder, u128) {
     let scaled_var = (n as u128) * sumsq - sum * sum;
 
     let mut bld = Builder::new(true);
-    let q = bld.selector(n);
     let vc = bld.advice_u64(&raw);
     // running sum S and running sum of squares T
     let mut s_vals = Vec::with_capacity(n);
@@ -228,13 +225,17 @@ pub fn variance_circuit(values: &[i64]) -> (Builder, u128) {
                     - Expression::advice_at(tcol.index, Rotation::PREV)
                     - ve.clone() * ve.clone()),
             Expression::fixed(q0.index) * (Expression::advice(scol.index) - ve.clone()),
-            Expression::fixed(q0.index)
-                * (Expression::advice(tcol.index) - ve.clone() * ve),
+            Expression::fixed(q0.index) * (Expression::advice(tcol.index) - ve.clone() * ve),
         ],
     );
     // public: n·T_final − S_final² at the last row
     let out_val = Fq::from_u64(n as u64) * t_vals[n - 1] - s_vals[n - 1] * s_vals[n - 1];
-    let out = bld.advice(&vec![Fq::ZERO; n - 1].into_iter().chain([out_val]).collect::<Vec<_>>());
+    let out = bld.advice(
+        &vec![Fq::ZERO; n - 1]
+            .into_iter()
+            .chain([out_val])
+            .collect::<Vec<_>>(),
+    );
     let q_last = bld.selector_single(n - 1);
     bld.cs.create_gate(
         "variance-output",
@@ -296,7 +297,10 @@ mod tests {
     #[test]
     fn string_packing_and_equality() {
         assert_eq!(pack_string(""), Vec::<u64>::new());
-        assert_ne!(pack_string("ECONOMY ANODIZED STEEL"), pack_string("ECONOMY BURNISHED STEEL"));
+        assert_ne!(
+            pack_string("ECONOMY ANODIZED STEEL"),
+            pack_string("ECONOMY BURNISHED STEEL")
+        );
         let b = string_equality_circuit("ECONOMY ANODIZED STEEL", "ECONOMY ANODIZED STEEL");
         let (cs, asn) = b.finish();
         mock_prove(&cs, &asn).expect("equal strings");

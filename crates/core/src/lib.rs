@@ -281,8 +281,7 @@ mod tests {
         let mut compiled = compile(&db, &plan, Some(&trace), GateSet::default()).expect("compile");
         // Flip an instance real bit: breaks the copy constraint to the
         // in-circuit real column.
-        compiled.asn.instance[0][1] =
-            poneglyph_arith::Fq::ONE - compiled.asn.instance[0][1];
+        compiled.asn.instance[0][1] = poneglyph_arith::Fq::ONE - compiled.asn.instance[0][1];
         assert!(mock_prove(&compiled.cs, &compiled.asn).is_err());
     }
 

@@ -2,7 +2,7 @@
 //!
 //! The prover's commitment cost is dominated by MSMs of size 2^k (one per
 //! committed column/polynomial), so this routine is parallelized across
-//! windows with crossbeam scoped threads.
+//! windows with std scoped threads.
 
 use crate::pallas::{Pallas, PallasAffine};
 use poneglyph_arith::{Fq, PrimeField};
@@ -86,18 +86,17 @@ pub fn msm(scalars: &[Fq], bases: &[PallasAffine]) -> Pallas {
             *s = window_sum(w);
         }
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (i, chunk) in sums.chunks_mut(num_windows.div_ceil(threads)).enumerate() {
                 let base_w = i * num_windows.div_ceil(threads);
                 let window_sum = &window_sum;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, s) in chunk.iter_mut().enumerate() {
                         *s = window_sum(base_w + j);
                     }
                 });
             }
-        })
-        .expect("msm worker panicked");
+        });
     }
 
     // Horner over windows, highest first.

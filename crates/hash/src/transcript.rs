@@ -25,7 +25,9 @@ impl Transcript {
         let mut h = Blake2b::new();
         h.update(b"poneglyph-transcript-v1");
         h.update(label);
-        Self { state: h.finalize() }
+        Self {
+            state: h.finalize(),
+        }
     }
 
     /// Absorb raw bytes under a label.

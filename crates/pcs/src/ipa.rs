@@ -298,7 +298,9 @@ impl IpaAccumulator {
 
     /// Settle every accumulated claim with one MSM.
     pub fn finalize(self, params: &IpaParams) -> bool {
-        msm(&self.g_scalars, &params.g).add(&self.point).is_identity()
+        msm(&self.g_scalars, &params.g)
+            .add(&self.point)
+            .is_identity()
     }
 }
 

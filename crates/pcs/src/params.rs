@@ -5,7 +5,6 @@
 //! §3.2 requires. Parameter generation time as a function of the maximal
 //! circuit size is the subject of the paper's **Table 2**.
 
-use crossbeam::thread;
 use poneglyph_arith::{Fq, PrimeField};
 use poneglyph_curve::{hash_to_curve, msm, Pallas, PallasAffine};
 
@@ -37,16 +36,15 @@ impl IpaParams {
             .map(|v| v.get())
             .unwrap_or(1);
         let chunk = n.div_ceil(workers);
-        thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ci, slot) in g.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, p) in slot.iter_mut().enumerate() {
                         *p = hash_to_curve(b"poneglyph-ipa-g", (ci * chunk + j) as u64);
                     }
                 });
             }
-        })
-        .expect("parameter derivation worker panicked");
+        });
         let h = hash_to_curve(b"poneglyph-ipa-h", 0);
         let u = hash_to_curve(b"poneglyph-ipa-u", 0);
         Self { k, n, g, h, u }

@@ -3,7 +3,7 @@
 //! computation), and single-point evaluation (verification).
 
 use crate::expression::{ColumnKind, Expression, Query};
-use poneglyph_arith::{Fq, PrimeField};
+use poneglyph_arith::Fq;
 
 use poneglyph_poly::EvaluationDomain;
 
@@ -93,8 +93,8 @@ pub fn eval_extended(expr: &Expression<Fq>, src: &CosetSource<'_>, ext_n: usize)
         &|| src.identity.to_vec(),
         &|q| {
             let data = col(q);
-            let shift = (q.rotation.0 as i64 * src.ext_factor as i64).rem_euclid(ext_n as i64)
-                as usize;
+            let shift =
+                (q.rotation.0 as i64 * src.ext_factor as i64).rem_euclid(ext_n as i64) as usize;
             (0..ext_n).map(|i| data[(i + shift) % ext_n]).collect()
         },
         &|mut a| {
@@ -178,6 +178,7 @@ pub fn identity_coset(domain: &EvaluationDomain<Fq>) -> Vec<Fq> {
 mod tests {
     use super::*;
     use crate::expression::Rotation;
+    use poneglyph_arith::PrimeField;
     use poneglyph_poly::EvaluationDomain;
 
     #[test]
@@ -185,13 +186,15 @@ mod tests {
         let domain = EvaluationDomain::<Fq>::new(3, 4);
         let n = domain.n;
         let fixed = vec![(0..n as u64).map(Fq::from_u64).collect::<Vec<_>>()];
-        let advice = vec![(0..n as u64).map(|i| Fq::from_u64(i * i + 3)).collect::<Vec<_>>()];
+        let advice = vec![(0..n as u64)
+            .map(|i| Fq::from_u64(i * i + 3))
+            .collect::<Vec<_>>()];
         let instance: Vec<Vec<Fq>> = vec![];
         let omega_pows = omega_powers(&domain);
 
         // expr = f0(X) * a0(ωX) + X
-        let expr = Expression::fixed(0) * Expression::advice_at(0, Rotation::NEXT)
-            + Expression::Identity;
+        let expr =
+            Expression::fixed(0) * Expression::advice_at(0, Rotation::NEXT) + Expression::Identity;
 
         let rows = eval_rows(
             &expr,
@@ -204,10 +207,7 @@ mod tests {
             n,
         );
         // manual check on row 2: f0[2] * a0[3] + ω²
-        assert_eq!(
-            rows[2],
-            fixed[0][2] * advice[0][3] + omega_pows[2]
-        );
+        assert_eq!(rows[2], fixed[0][2] * advice[0][3] + omega_pows[2]);
         // wraparound on the last row
         assert_eq!(
             rows[n - 1],

@@ -262,8 +262,7 @@ mod tests {
     #[test]
     fn arithmetic_evaluation() {
         // (a + 2b) * 3 with a = 5, b = 7 => 57
-        let e = (Expression::<Fq>::advice(0)
-            + Expression::advice(1) * Fq::from_u64(2))
+        let e = (Expression::<Fq>::advice(0) + Expression::advice(1) * Fq::from_u64(2))
             * Fq::from_u64(3);
         let v = e.evaluate(
             &|c| c,

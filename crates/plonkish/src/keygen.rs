@@ -156,10 +156,16 @@ pub fn keygen(params: &IpaParams, cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq
     let mut dsu = Dsu::new(m * n);
     for (a, b) in &asn.copies {
         let ca = col_slot(&a.column).unwrap_or_else(|| {
-            panic!("copy constraint uses column {:?} not enabled for permutation", a.column)
+            panic!(
+                "copy constraint uses column {:?} not enabled for permutation",
+                a.column
+            )
         });
         let cb = col_slot(&b.column).unwrap_or_else(|| {
-            panic!("copy constraint uses column {:?} not enabled for permutation", b.column)
+            panic!(
+                "copy constraint uses column {:?} not enabled for permutation",
+                b.column
+            )
         });
         dsu.union((ca * n + a.row) as u32, (cb * n + b.row) as u32);
     }

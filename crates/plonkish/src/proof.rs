@@ -170,8 +170,7 @@ impl Proof {
             }
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
-                let p =
-                    PallasAffine::from_bytes(bytes.get(*off..*off + 64)?.try_into().ok()?)?;
+                let p = PallasAffine::from_bytes(bytes.get(*off..*off + 64)?.try_into().ok()?)?;
                 *off += 64;
                 v.push(p);
             }
@@ -244,19 +243,12 @@ pub fn claims_by_rotation(schedule: &[(PolyId, i32)]) -> Vec<(i32, Vec<PolyId>)>
 }
 
 /// Look up the claimed evaluation for a `(poly, rotation)` pair.
-pub fn eval_of(
-    schedule: &[(PolyId, i32)],
-    evals: &[Fq],
-    id: PolyId,
-    rot: i32,
-) -> Option<Fq> {
+pub fn eval_of(schedule: &[(PolyId, i32)], evals: &[Fq], id: PolyId, rot: i32) -> Option<Fq> {
     schedule
         .iter()
         .position(|(p, r)| *p == id && *r == rot)
         .map(|i| evals[i])
 }
-
-/// The resolver rotation for ordinary column queries.
 
 #[cfg(test)]
 mod tests {
@@ -270,7 +262,10 @@ mod tests {
         let b = cs.advice_column();
         cs.create_gate(
             "g",
-            vec![Expression::fixed(q.index) * (Expression::advice(a.index) - Expression::advice(b.index))],
+            vec![
+                Expression::fixed(q.index)
+                    * (Expression::advice(a.index) - Expression::advice(b.index)),
+            ],
         );
         cs.enable_permutation(a);
         cs.add_lookup(

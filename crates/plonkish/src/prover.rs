@@ -7,8 +7,7 @@
 
 use crate::circuit::{Assignment, PERMUTATION_CHUNK};
 use crate::eval::{
-    compress_rows, eval_extended, eval_rows, identity_coset, omega_powers, CosetSource,
-    RowSource,
+    compress_rows, eval_extended, eval_rows, identity_coset, omega_powers, CosetSource, RowSource,
 };
 use crate::keygen::{ProvingKey, VerifyingKey};
 use crate::proof::{claims_by_rotation, open_schedule, PolyId, Proof};
@@ -272,8 +271,11 @@ pub fn prove(
     let mut shuffle_z_values: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
     for sh in &cs.shuffles {
         let inputs: Vec<Vec<Fq>> = sh.input.iter().map(|e| eval_rows(e, &row_src, n)).collect();
-        let targets: Vec<Vec<Fq>> =
-            sh.target.iter().map(|e| eval_rows(e, &row_src, n)).collect();
+        let targets: Vec<Vec<Fq>> = sh
+            .target
+            .iter()
+            .map(|e| eval_rows(e, &row_src, n))
+            .collect();
         let a = compress_rows(&inputs, theta);
         let b = compress_rows(&targets, theta);
         let mut den: Vec<Fq> = (0..u).map(|r| b[r] + gamma).collect();
@@ -435,7 +437,8 @@ pub fn prove(
         }
         // Running product.
         let z_next = rot(z, 1);
-        let chunk = &perm_cols[j * PERMUTATION_CHUNK..(j * PERMUTATION_CHUNK + PERMUTATION_CHUNK).min(perm_cols.len())];
+        let chunk = &perm_cols[j * PERMUTATION_CHUNK
+            ..(j * PERMUTATION_CHUNK + PERMUTATION_CHUNK).min(perm_cols.len())];
         let mut num = vec![Fq::ONE; ext_n];
         let mut den = vec![Fq::ONE; ext_n];
         for (ci, col) in chunk.iter().enumerate() {
@@ -530,7 +533,8 @@ pub fn prove(
         fold(&mut acc, &t2);
         let t3: Vec<Fq> = (0..ext_n)
             .map(|i| {
-                pk.l_active_coset[i] * (z_next[i] * (b_comp[i] + gamma) - z[i] * (a_comp[i] + gamma))
+                pk.l_active_coset[i]
+                    * (z_next[i] * (b_comp[i] + gamma) - z[i] * (a_comp[i] + gamma))
             })
             .collect();
         fold(&mut acc, &t3);

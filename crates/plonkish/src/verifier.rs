@@ -142,14 +142,20 @@ pub fn verify(
     };
     let resolve = |q: Query| -> Fq {
         match q.column.kind {
-            ColumnKind::Advice => {
-                eval_of(&schedule, &proof.evals, PolyId::Advice(q.column.index), q.rotation.0)
-                    .expect("advice query in schedule")
-            }
-            ColumnKind::Fixed => {
-                eval_of(&schedule, &proof.evals, PolyId::Fixed(q.column.index), q.rotation.0)
-                    .expect("fixed query in schedule")
-            }
+            ColumnKind::Advice => eval_of(
+                &schedule,
+                &proof.evals,
+                PolyId::Advice(q.column.index),
+                q.rotation.0,
+            )
+            .expect("advice query in schedule"),
+            ColumnKind::Fixed => eval_of(
+                &schedule,
+                &proof.evals,
+                PolyId::Fixed(q.column.index),
+                q.rotation.0,
+            )
+            .expect("fixed query in schedule"),
             ColumnKind::Instance => instance_evals[&q],
         }
     };
@@ -185,8 +191,8 @@ pub fn verify(
         if j == chunks - 1 {
             fold(&mut folded, l_last * (z_x - Fq::ONE));
         }
-        let chunk = &cs.permutation_columns
-            [j * PERMUTATION_CHUNK..(j * PERMUTATION_CHUNK + PERMUTATION_CHUNK).min(cs.permutation_columns.len())];
+        let chunk = &cs.permutation_columns[j * PERMUTATION_CHUNK
+            ..(j * PERMUTATION_CHUNK + PERMUTATION_CHUNK).min(cs.permutation_columns.len())];
         let mut num = Fq::ONE;
         let mut den = Fq::ONE;
         for (ci, col) in chunk.iter().enumerate() {
@@ -288,8 +294,14 @@ pub fn verify(
             combined_eval += pow * e;
             pow *= v;
         }
-        if !poneglyph_pcs::verify(params, &mut transcript, &combined, point, combined_eval, opening)
-        {
+        if !poneglyph_pcs::verify(
+            params,
+            &mut transcript,
+            &combined,
+            point,
+            combined_eval,
+            opening,
+        ) {
             return Err(VerifyError::OpeningFailure(g));
         }
     }

@@ -46,8 +46,13 @@ impl<F: PrimeField> EvaluationDomain<F> {
     /// `max_degree·(n−1)`, so the extension factor is the next power of two
     /// at or above `max_degree`).
     pub fn new(k: u32, max_degree: usize) -> Self {
-        assert!(k >= 1 && k <= F::TWO_ADICITY, "unsupported domain size 2^{k}");
-        let extended_bits = (max_degree.max(2) as u64).next_power_of_two().trailing_zeros();
+        assert!(
+            k >= 1 && k <= F::TWO_ADICITY,
+            "unsupported domain size 2^{k}"
+        );
+        let extended_bits = (max_degree.max(2) as u64)
+            .next_power_of_two()
+            .trailing_zeros();
         assert!(
             k + extended_bits <= F::TWO_ADICITY,
             "extended domain exceeds field 2-adicity"
@@ -89,7 +94,10 @@ impl<F: PrimeField> EvaluationDomain<F> {
 
     /// Evaluate a coefficient polynomial over `H`.
     pub fn coeff_to_lagrange(&self, poly: &Polynomial<F>) -> Vec<F> {
-        assert!(poly.coeffs.len() <= self.n, "polynomial too large for domain");
+        assert!(
+            poly.coeffs.len() <= self.n,
+            "polynomial too large for domain"
+        );
         let mut values = poly.coeffs.clone();
         values.resize(self.n, F::ZERO);
         fft(&mut values, self.omega);

@@ -99,7 +99,9 @@ mod tests {
         for k in [1u32, 3, 6, 10] {
             let n = 1usize << k;
             let (omega, omega_inv, n_inv) = domain(k);
-            let coeffs: Vec<Fq> = (0..n as u64).map(|i| Fq::from_u64(i.wrapping_mul(0x9e37) ^ 0x123)).collect();
+            let coeffs: Vec<Fq> = (0..n as u64)
+                .map(|i| Fq::from_u64(i.wrapping_mul(0x9e37) ^ 0x123))
+                .collect();
             let mut work = coeffs.clone();
             fft(&mut work, omega);
             ifft(&mut work, omega_inv, n_inv);

@@ -85,11 +85,7 @@ mod tests {
     #[test]
     fn eval_and_scale() {
         // p(x) = 3 + 2x + x^2
-        let p = Polynomial::from_coeffs(vec![
-            Fq::from_u64(3),
-            Fq::from_u64(2),
-            Fq::from_u64(1),
-        ]);
+        let p = Polynomial::from_coeffs(vec![Fq::from_u64(3), Fq::from_u64(2), Fq::from_u64(1)]);
         assert_eq!(p.eval(Fq::from_u64(5)), Fq::from_u64(3 + 10 + 25));
         let q = p.scale(Fq::from_u64(2));
         assert_eq!(q.eval(Fq::from_u64(5)), Fq::from_u64(2 * 38));
@@ -101,9 +97,6 @@ mod tests {
         let q = Polynomial::from_coeffs(vec![Fq::ZERO, Fq::ONE, Fq::ONE]);
         let r = p.add_scaled(&q, Fq::from_u64(3));
         assert_eq!(r.len(), 3);
-        assert_eq!(
-            r.eval(Fq::from_u64(2)),
-            Fq::from_u64(1 + 3 * (2 + 4))
-        );
+        assert_eq!(r.eval(Fq::from_u64(2)), Fq::from_u64(1 + 3 * (2 + 4)));
     }
 }

@@ -28,9 +28,13 @@ impl Executed {
 
     /// The largest intermediate cardinality in the tree.
     pub fn max_rows(&self) -> usize {
-        self.output
-            .len()
-            .max(self.children.iter().map(|c| c.max_rows()).max().unwrap_or(0))
+        self.output.len().max(
+            self.children
+                .iter()
+                .map(|c| c.max_rows())
+                .max()
+                .unwrap_or(0),
+        )
     }
 }
 
@@ -56,11 +60,8 @@ impl std::error::Error for ExecError {}
 
 /// Execute a plan, returning the full operator trace.
 pub fn execute(db: &Database, plan: &Plan) -> Result<Executed, ExecError> {
-    let lookup = |name: &str| -> Schema {
-        db.table(name)
-            .map(|t| t.schema.clone())
-            .unwrap_or_default()
-    };
+    let lookup =
+        |name: &str| -> Schema { db.table(name).map(|t| t.schema.clone()).unwrap_or_default() };
     match plan {
         Plan::Scan { table } => {
             let t = db
@@ -157,10 +158,8 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Executed, ExecError> {
             for (key, rows) in groups {
                 let mut out_row = key.clone();
                 for (_, agg) in aggs {
-                    let values: Vec<i64> = rows
-                        .iter()
-                        .map(|r| agg.input.eval(&t.row(*r)))
-                        .collect();
+                    let values: Vec<i64> =
+                        rows.iter().map(|r| agg.input.eval(&t.row(*r))).collect();
                     let v = match agg.func {
                         AggFunc::Sum => values.iter().sum(),
                         AggFunc::Count => values.len() as i64,

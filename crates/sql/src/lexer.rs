@@ -38,7 +38,10 @@ pub fn lex(sql: &str) -> Result<Vec<Token>, String> {
             }
             // decimal literal like 0.06: scale by 100 (cents) per the
             // paper's integer conversion.
-            if i < chars.len() && chars[i] == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()
+            if i < chars.len()
+                && chars[i] == '.'
+                && i + 1 < chars.len()
+                && chars[i + 1].is_ascii_digit()
             {
                 let int_part: i64 = chars[start..i]
                     .iter()

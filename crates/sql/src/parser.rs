@@ -433,7 +433,10 @@ mod tests {
 
     #[test]
     fn parses_simple_query() {
-        let q = parse("SELECT a, SUM(b) AS total FROM t WHERE a < 10 GROUP BY a ORDER BY total DESC LIMIT 5").unwrap();
+        let q = parse(
+            "SELECT a, SUM(b) AS total FROM t WHERE a < 10 GROUP BY a ORDER BY total DESC LIMIT 5",
+        )
+        .unwrap();
         assert_eq!(q.items.len(), 2);
         assert_eq!(q.items[1].alias.as_deref(), Some("total"));
         assert_eq!(q.from, vec!["t"]);
@@ -468,10 +471,7 @@ mod tests {
             "SELECT SUM(CASE WHEN n = 'BRAZIL' THEN v ELSE 0 END), EXTRACT(YEAR FROM d) AS y FROM t GROUP BY y",
         )
         .unwrap();
-        assert!(matches!(
-            q.items[0].expr,
-            AstExpr::Agg(AggFunc::Sum, _)
-        ));
+        assert!(matches!(q.items[0].expr, AstExpr::Agg(AggFunc::Sum, _)));
         assert!(matches!(q.items[1].expr, AstExpr::ExtractYear(_)));
     }
 
@@ -492,9 +492,6 @@ mod tests {
     #[test]
     fn count_star() {
         let q = parse("SELECT COUNT(*) FROM t").unwrap();
-        assert!(matches!(
-            q.items[0].expr,
-            AstExpr::Agg(AggFunc::Count, _)
-        ));
+        assert!(matches!(q.items[0].expr, AstExpr::Agg(AggFunc::Count, _)));
     }
 }

@@ -326,10 +326,8 @@ impl Plan {
                 aggs,
             } => {
                 let inner = input.schema(lookup);
-                let mut cols: Vec<(String, ColumnType)> = group_by
-                    .iter()
-                    .map(|g| inner.columns[*g].clone())
-                    .collect();
+                let mut cols: Vec<(String, ColumnType)> =
+                    group_by.iter().map(|g| inner.columns[*g].clone()).collect();
                 for (name, _) in aggs {
                     cols.push((name.clone(), ColumnType::Int));
                 }

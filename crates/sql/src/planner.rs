@@ -118,11 +118,8 @@ fn to_scalar(
 /// Collect all aggregate subtrees of an expression.
 fn collect_aggs(e: &AstExpr, out: &mut Vec<AstExpr>) {
     match e {
-        AstExpr::Agg(..) => {
-            if !out.contains(e) {
-                out.push(e.clone());
-            }
-        }
+        AstExpr::Agg(..) if !out.contains(e) => out.push(e.clone()),
+        AstExpr::Agg(..) => {}
         AstExpr::Add(a, b) | AstExpr::Sub(a, b) | AstExpr::Mul(a, b) | AstExpr::Div(a, b) => {
             collect_aggs(a, out);
             collect_aggs(b, out);
@@ -204,11 +201,10 @@ pub fn plan_query(
                         b: (tb, b.column.clone()),
                     });
                 } else if ta == tb {
-                    per_table_colcol.entry(ta).or_default().push((
-                        a.clone(),
-                        p.op,
-                        b.clone(),
-                    ));
+                    per_table_colcol
+                        .entry(ta)
+                        .or_default()
+                        .push((a.clone(), p.op, b.clone()));
                 } else {
                     post_filters.push(p.clone());
                 }
@@ -400,9 +396,7 @@ pub fn plan_query(
                 let expr = to_scalar(&item.expr, &ns, dict, None)?;
                 group_positions.push(pre_exprs.len());
                 pre_exprs.push((g.column.clone(), expr));
-                pre_ns
-                    .cols
-                    .push(("".to_string(), g.column.clone()));
+                pre_ns.cols.push(("".to_string(), g.column.clone()));
             }
         }
         if pre_exprs.len() > ns.cols.len() {
@@ -445,9 +439,7 @@ pub fn plan_query(
             cols: group_positions
                 .iter()
                 .map(|p| agg_input_ns.cols[*p].clone())
-                .chain(
-                    (0..agg_asts.len()).map(|i| ("".to_string(), format!("agg{i}"))),
-                )
+                .chain((0..agg_asts.len()).map(|i| ("".to_string(), format!("agg{i}"))))
                 .collect(),
         };
         let agg_pos = |e: &AstExpr| -> Option<usize> {
@@ -461,11 +453,14 @@ pub fn plan_query(
         if !stmt.having.is_empty() {
             let mut preds = Vec::new();
             for h in &stmt.having {
-                let lpos = agg_pos(&h.left)
-                    .or_else(|| agg_out_ns.resolve(match &h.left {
-                        AstExpr::Col(c) => c,
-                        _ => return None,
-                    }).ok());
+                let lpos = agg_pos(&h.left).or_else(|| {
+                    agg_out_ns
+                        .resolve(match &h.left {
+                            AstExpr::Col(c) => c,
+                            _ => return None,
+                        })
+                        .ok()
+                });
                 let (col, op, value) = match (lpos, literal(&h.right, dict)) {
                     (Some(c), Some(v)) => (c, h.op, v),
                     _ => return Err("HAVING must compare an aggregate to a constant".into()),
@@ -482,13 +477,10 @@ pub fn plan_query(
         let mut exprs = Vec::new();
         let mut names = Vec::new();
         for (i, item) in stmt.items.iter().enumerate() {
-            let name = item
-                .alias
-                .clone()
-                .unwrap_or_else(|| match &item.expr {
-                    AstExpr::Col(c) => c.column.clone(),
-                    _ => format!("col{i}"),
-                });
+            let name = item.alias.clone().unwrap_or_else(|| match &item.expr {
+                AstExpr::Col(c) => c.column.clone(),
+                _ => format!("col{i}"),
+            });
             let e = to_scalar(&item.expr, &agg_out_ns, dict, Some(&agg_pos))?;
             exprs.push((name.clone(), e));
             names.push(name);
@@ -504,13 +496,10 @@ pub fn plan_query(
         let mut exprs = Vec::new();
         let mut names = Vec::new();
         for (i, item) in stmt.items.iter().enumerate() {
-            let name = item
-                .alias
-                .clone()
-                .unwrap_or_else(|| match &item.expr {
-                    AstExpr::Col(c) => c.column.clone(),
-                    _ => format!("col{i}"),
-                });
+            let name = item.alias.clone().unwrap_or_else(|| match &item.expr {
+                AstExpr::Col(c) => c.column.clone(),
+                _ => format!("col{i}"),
+            });
             exprs.push((name.clone(), to_scalar(&item.expr, &ns, dict, None)?));
             names.push(name);
         }

@@ -41,7 +41,13 @@ pub const NATIONS: [(&str, usize); 25] = [
 /// TPC-H regions.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
@@ -54,7 +60,9 @@ impl Rng {
     pub fn new(seed: u64) -> Self {
         Self(seed)
     }
-    /// Next raw value.
+    /// Next raw value. Not an `Iterator`: this generator is infinite and the
+    /// name mirrors dbgen's stream API.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
@@ -129,7 +137,7 @@ pub fn generate(lineitem_rows: usize) -> Database {
         .filter(|(_, (_, r))| *r == 1)
         .map(|(i, _)| i as i64 + 1)
         .collect();
-    let mut pick_nation = |rng: &mut Rng| -> i64 {
+    let pick_nation = |rng: &mut Rng| -> i64 {
         match rng.next() % 3 {
             0 => asia_nations[(rng.next() % asia_nations.len() as u64) as usize],
             1 => america_nations[(rng.next() % america_nations.len() as u64) as usize],
@@ -252,9 +260,8 @@ pub fn generate(lineitem_rows: usize) -> Database {
         let custkey = rng.range(1, n_customers as i64);
         // every 8th order is a "large volume" order (7 dense lineitems) so
         // Q18's HAVING SUM(l_quantity) > 300 selects a few rows at any scale
-        let large = order_id % 8 == 0;
-        let items = if large { 7 } else { rng.range(1, 7) }
-            .min((lineitem_rows - produced) as i64);
+        let large = order_id.is_multiple_of(8);
+        let items = if large { 7 } else { rng.range(1, 7) }.min((lineitem_rows - produced) as i64);
         let mut total = 0i64;
         for line in 0..items {
             let partkey = rng.range(1, n_parts as i64);
@@ -275,7 +282,7 @@ pub fn generate(lineitem_rows: usize) -> Database {
             let tax = rng.range(0, 8);
             let shipdate = orderdate + rng.range(1, 121);
             let returnflag = if shipdate <= cutoff {
-                if rng.next() % 2 == 0 {
+                if rng.next().is_multiple_of(2) {
                     flag_a
                 } else {
                     flag_r
@@ -283,7 +290,11 @@ pub fn generate(lineitem_rows: usize) -> Database {
             } else {
                 flag_n
             };
-            let linestatus = if shipdate <= cutoff { status_f } else { status_o };
+            let linestatus = if shipdate <= cutoff {
+                status_f
+            } else {
+                status_o
+            };
             lineitem.push_row(&[
                 order_id as i64,
                 pk,
@@ -301,13 +312,7 @@ pub fn generate(lineitem_rows: usize) -> Database {
             produced += 1;
             let _ = line;
         }
-        orders.push_row(&[
-            order_id as i64,
-            custkey,
-            total,
-            orderdate,
-            rng.range(0, 1),
-        ]);
+        orders.push_row(&[order_id as i64, custkey, total, orderdate, rng.range(0, 1)]);
     }
     db.add_table("orders", orders);
     db.add_table("lineitem", lineitem);

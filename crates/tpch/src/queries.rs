@@ -7,9 +7,7 @@
 //! `1 − l_discount` becomes `100 − l_discount` with values in cents, so
 //! revenue aggregates are scaled by 100 (and charge by 10000).
 
-use poneglyph_sql::{
-    epoch_days, AggFunc, Aggregate, CmpOp, Database, Plan, Predicate, ScalarExpr,
-};
+use poneglyph_sql::{epoch_days, AggFunc, Aggregate, CmpOp, Database, Plan, Predicate, ScalarExpr};
 
 fn col(i: usize) -> ScalarExpr {
     ScalarExpr::Col(i)
@@ -76,7 +74,11 @@ fn lt_const(c: usize, v: i64) -> Predicate {
     }
 }
 fn cmp(c: usize, op: CmpOp, v: i64) -> Predicate {
-    Predicate::ColConst { col: c, op, value: v }
+    Predicate::ColConst {
+        col: c,
+        op,
+        value: v,
+    }
 }
 
 /// lineitem revenue term `l_extendedprice · (100 − l_discount)`.
@@ -172,7 +174,7 @@ pub fn q5_plan(db: &Database) -> Plan {
     let oc = join(orders, scan("customer"), 1, 0); // 5+5
     let l_oc = join(scan("lineitem"), oc, 0, 0); // 11+10 = 21
     let ls = join(l_oc, scan("supplier"), 2, 0); // +3 = 24 (supplier at 21..23)
-    // same-nation requirement: c_nationkey (11+5+2 = 18) = s_nationkey (22)
+                                                 // same-nation requirement: c_nationkey (11+5+2 = 18) = s_nationkey (22)
     let same_nation = filter(
         ls,
         vec![Predicate::ColCol {

@@ -20,7 +20,9 @@ fn main() {
         let commitment = DatabaseCommitment::commit(&params, &db);
         let elapsed = t.elapsed();
         let label = format!("tpch-{rows}");
-        registry.publish(&label, commitment.digest()).expect("publish");
+        registry
+            .publish(&label, commitment.digest())
+            .expect("publish");
         println!(
             "committed {rows:>4}-row database in {elapsed:>10.2?} -> {}",
             hex(&commitment.digest()[..8])

@@ -49,7 +49,9 @@ fn main() {
     tampered_db.tables.get_mut("patients").unwrap().cols[3][0] += 1;
     let bad = DatabaseCommitment::commit(&params, &tampered_db);
     assert!(
-        registry.publish("hospital-H/2026-06", bad.digest()).is_err(),
+        registry
+            .publish("hospital-H/2026-06", bad.digest())
+            .is_err(),
         "registry is immutable"
     );
     println!("auditor: commitment pinned, substitution rejected");

@@ -18,12 +18,12 @@ fn main() {
         ("salary", ColumnType::Decimal),
     ]));
     for (id, dept, salary_cents) in [
-        (1, 10, 5_200_00),
-        (2, 10, 6_100_00),
-        (3, 20, 4_700_00),
-        (4, 20, 8_800_00),
-        (5, 20, 7_300_00),
-        (6, 30, 9_100_00),
+        (1, 10, 520_000),
+        (2, 10, 610_000),
+        (3, 20, 470_000),
+        (4, 20, 880_000),
+        (5, 20, 730_000),
+        (6, 30, 910_000),
     ] {
         employees.push_row(&[id, dept, salary_cents]);
     }

@@ -1,0 +1,113 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * `prop_assert!` / `prop_assert_eq!`,
+//! * `any::<T>()` for primitives and `[u8; N]`,
+//! * numeric range strategies (`0i64..100`, `1i64..=12`, …),
+//! * tuple strategies, `prop::collection::vec`, `prop_map`,
+//! * string strategies from `"[class]{m,n}"`-shaped regex literals.
+//!
+//! There is **no shrinking**: a failing case panics with the case index and
+//! the seed-derived inputs are deterministic per test name, so failures
+//! reproduce across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    pub use crate::strategy::{any, Arbitrary};
+}
+
+/// Mirrors `proptest::prelude::prop` — the module-path entry points.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::vec;
+    }
+}
+
+pub mod collection {
+    pub use crate::strategy::collection::vec;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// The test-definition macro. Supports the two forms used in practice:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in 0i64..10, y in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@body ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                runner.run(|__pt_rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), __pt_rng);
+                    )*
+                    let __pt_case = move ||
+                        -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    };
+                    __pt_case()
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fail the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`, reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}

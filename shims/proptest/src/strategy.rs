@@ -1,0 +1,321 @@
+//! Value-generation strategies: the composable core of the shim.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value` from a seeded RNG.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value. Deterministic given the RNG state.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`: `any::<bool>()`, `any::<[u8; 64]>()`, …
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy yielding any value of a primitive type.
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(core::marker::PhantomData)
+    }
+}
+
+/// Strategy yielding a uniformly random byte array.
+pub struct AnyByteArray<const N: usize>;
+
+impl<const N: usize> Strategy for AnyByteArray<N> {
+    type Value = [u8; N];
+    fn sample(&self, rng: &mut StdRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    type Strategy = AnyByteArray<N>;
+    fn arbitrary() -> Self::Strategy {
+        AnyByteArray
+    }
+}
+
+// --- numeric range strategies -------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.gen_range(0..span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.gen_range(0..span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- tuple strategies ----------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// --- string strategies from regex-shaped literals ------------------------
+
+/// `&str` literals act as (a tiny subset of) regex strategies: a single
+/// `[class]{m,n}` produces strings of `m..=n` chars drawn from the class;
+/// anything else is produced verbatim.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        match parse_class_repeat(self) {
+            Some((alphabet, lo, hi)) => {
+                let len = rng.gen_range(lo as u64..hi as u64 + 1) as usize;
+                (0..len)
+                    .map(|_| alphabet[rng.gen_range(0..alphabet.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parse `[chars]{m,n}` into (alphabet, m, n). `a-z` ranges are expanded;
+/// a `-` adjacent to a bracket is literal, as in real character classes.
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let quant = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match quant.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = quant.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i] as u32, class[i + 2] as u32);
+            for c in a..=b {
+                alphabet.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: a fixed size or a half-open range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            assert!(self.size.lo < self.size.hi, "empty vec size range");
+            let len = rng.gen_range(self.size.lo as u64..self.size.hi as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = (-5i64..7).sample(&mut rng);
+            assert!((-5..7).contains(&v));
+            let w = (1i64..=12).sample(&mut rng);
+            assert!((1..=12).contains(&w));
+        }
+    }
+
+    #[test]
+    fn class_repeat_parses() {
+        let (alpha, lo, hi) = parse_class_repeat("[a-c_-]{0,4}").unwrap();
+        assert_eq!(alpha, vec!['a', 'b', 'c', '_', '-']);
+        assert_eq!((lo, hi), (0, 4));
+    }
+
+    #[test]
+    fn string_strategy_draws_from_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = "[ab]{1,3}".sample(&mut rng);
+            assert!((1..=3).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn vec_of_tuples_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = collection::vec((0i64..2, 0i64..10), 1..5).sample(&mut rng);
+        assert!(!v.is_empty() && v.len() < 5);
+        for (a, b) in v {
+            assert!((0..2).contains(&a) && (0..10).contains(&b));
+        }
+    }
+}

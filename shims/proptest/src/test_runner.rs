@@ -1,0 +1,81 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed property assertion. Produced by `prop_assert!` and friends.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration. Only `cases` matters to the shim.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real default is 256; this shim keeps it, trading a little test
+        // time for coverage. Override per-block with `with_cases`.
+        Config { cases: 256 }
+    }
+}
+
+/// Drives `config.cases` deterministic cases of one property.
+pub struct TestRunner {
+    config: Config,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: Config, test_name: &str) -> Self {
+        // Per-test deterministic seed (FNV-1a over the test name) so each
+        // property explores a distinct but reproducible input stream.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { config, seed }
+    }
+
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..self.config.cases {
+            let mut rng =
+                StdRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "proptest case {}/{} failed: {}\n(deterministic; rerun reproduces it)",
+                    i + 1,
+                    self.config.cases,
+                    e
+                );
+            }
+        }
+    }
+}

@@ -4,8 +4,8 @@
 
 use poneglyph_core::{check_query, compile, GateSet};
 use poneglyph_sql::{
-    execute, AggFunc, Aggregate, CmpOp, ColumnType, Database, Plan, Predicate, ScalarExpr,
-    Schema, Table,
+    execute, AggFunc, Aggregate, CmpOp, ColumnType, Database, Plan, Predicate, ScalarExpr, Schema,
+    Table,
 };
 use proptest::prelude::*;
 

@@ -1,8 +1,8 @@
 //! Property tests for the SQL frontend: the parser/planner pipeline agrees
 //! with hand-built plans, and dates round-trip.
 
-use poneglyph_sql::{epoch_days, execute, parse, plan_query, year_of_epoch_days};
 use poneglyph_sql::{catalog_of, ColumnType, Database, Schema, Table};
+use poneglyph_sql::{epoch_days, execute, parse, plan_query, year_of_epoch_days};
 use proptest::prelude::*;
 
 fn db_with(values: &[(i64, i64)]) -> Database {

@@ -1,0 +1,44 @@
+//! Workspace wiring smoke test: one tiny query runs end-to-end through the
+//! facade re-exports in well under a second. If a manifest edge or re-export
+//! breaks, this fails before the heavyweight integration suites even build
+//! their fixtures.
+
+use poneglyphdb::prelude::{catalog_of, check_query, execute, parse, plan_query};
+use poneglyphdb::sql::{ColumnType, Schema, Table};
+
+fn tiny_db() -> poneglyphdb::sql::Database {
+    let mut db = poneglyphdb::sql::Database::new();
+    let mut t = Table::empty(Schema::new(&[
+        ("id", ColumnType::Int),
+        ("v", ColumnType::Int),
+    ]));
+    for (id, v) in [(1, 10), (2, 25), (3, 7), (4, 42)] {
+        t.push_row(&[id, v]);
+    }
+    db.add_table("t", t);
+    db
+}
+
+#[test]
+fn parse_plan_execute_through_facade() {
+    let db = tiny_db();
+    let catalog = catalog_of(&db, &[("t", "id")]);
+
+    let stmt = parse("SELECT id FROM t WHERE v < 20").expect("parse");
+    let mut dict = db.dict.clone();
+    let plan = plan_query(&stmt, &catalog, &mut dict).expect("plan");
+    let out = execute(&db, &plan).expect("execute").output;
+
+    // rows (1, 10) and (3, 7) pass the filter
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn tiny_query_circuit_satisfies() {
+    let db = tiny_db();
+    let catalog = catalog_of(&db, &[("t", "id")]);
+    let stmt = parse("SELECT id FROM t WHERE v < 20").expect("parse");
+    let mut dict = db.dict.clone();
+    let plan = plan_query(&stmt, &catalog, &mut dict).expect("plan");
+    check_query(&db, &plan).expect("compiled circuit satisfies all constraints");
+}
