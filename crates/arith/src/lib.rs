@@ -20,6 +20,8 @@
 //! assert_eq!(a * b, Fq::ONE);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arith64;
 mod field;
 mod traits;

@@ -104,7 +104,11 @@ impl CommitmentRegistry {
 
 /// The prover's answer to a query: the result, the public instance the
 /// proof is bound to, and the proof itself.
-#[derive(Clone, Debug)]
+///
+/// Leaves the process via [`QueryResponse::to_bytes`] /
+/// [`QueryResponse::from_bytes`] (the versioned wire format served by
+/// `poneglyph-service`).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryResponse {
     /// The claimed query result.
     pub result: Table,

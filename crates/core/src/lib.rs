@@ -6,11 +6,14 @@
 //! database commitment (§3.3), and the end-to-end prover/verifier API
 //! (Figure 2).
 
+#![warn(missing_docs)]
+
 mod builder;
 mod compiler;
 mod db;
 mod encode;
 pub mod extras;
+mod wire;
 
 pub use builder::{BitCol, Builder};
 pub use compiler::{compile, CompiledQuery, GateSet};
@@ -19,6 +22,10 @@ pub use db::{
     DatabaseCommitment, DbError, QueryResponse,
 };
 pub use encode::{decode, encode, encode_fq, MAX_VALUE, VALUE_BOUND, VALUE_BYTES};
+pub use wire::{
+    column_type_byte, column_type_from_byte, read_schema, read_table, write_schema, write_table,
+    RESPONSE_MAGIC, RESPONSE_WIRE_VERSION,
+};
 
 #[cfg(test)]
 mod tests {

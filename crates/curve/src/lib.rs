@@ -6,6 +6,8 @@
 //! Pippenger multi-scalar multiplication, and try-and-increment hash-to-curve
 //! for deriving trust-free commitment generators (paper §3.2).
 
+#![warn(missing_docs)]
+
 mod msm;
 mod pallas;
 

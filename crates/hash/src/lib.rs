@@ -6,6 +6,8 @@
 //!
 //! [RFC 7693]: https://www.rfc-editor.org/rfc/rfc7693
 
+#![warn(missing_docs)]
+
 mod blake2b;
 mod transcript;
 

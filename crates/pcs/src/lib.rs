@@ -6,6 +6,8 @@
 //! public randomness — no trusted setup — and their generation time is
 //! what the paper reports in Table 2.
 
+#![warn(missing_docs)]
+
 mod ipa;
 mod params;
 

@@ -15,6 +15,8 @@
 //! * [`prove`] / [`verify`] — the non-interactive argument,
 //! * [`mock_prove`] — fast constraint checking for circuit development.
 
+#![warn(missing_docs)]
+
 mod circuit;
 mod eval;
 mod expression;

@@ -4,6 +4,8 @@
 //! polynomials, radix-2 FFTs, and [`EvaluationDomain`]s (the `2^k`-row
 //! circuit domain plus its extended coset for quotient computation).
 
+#![warn(missing_docs)]
+
 mod domain;
 mod fft;
 

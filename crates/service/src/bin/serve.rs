@@ -1,0 +1,94 @@
+//! `poneglyph-serve` — run a proving service over TCP.
+//!
+//! ```sh
+//! cargo run --release -p poneglyph-service --bin poneglyph-serve -- \
+//!     [--port 7117] [--workers 4] [--cache 64] [--k 12]
+//! ```
+//!
+//! Hosts a small built-in demo database (the quickstart's employee table)
+//! so the service is drivable out of the box; a real deployment constructs
+//! [`ProvingService`] with its own tables. Prints the database digest a
+//! client would check against the commitment registry, then serves until
+//! killed.
+
+use poneglyph_pcs::IpaParams;
+use poneglyph_service::{ProvingService, ServiceConfig, ServiceServer};
+use poneglyph_sql::{ColumnType, Database, Schema, Table};
+use std::sync::Arc;
+
+fn demo_database() -> Database {
+    let mut db = Database::new();
+    let mut employees = Table::empty(Schema::new(&[
+        ("emp_id", ColumnType::Int),
+        ("dept", ColumnType::Int),
+        ("salary", ColumnType::Decimal),
+    ]));
+    for (id, dept, salary_cents) in [
+        (1, 10, 520_000),
+        (2, 10, 610_000),
+        (3, 20, 470_000),
+        (4, 20, 880_000),
+        (5, 20, 730_000),
+        (6, 30, 910_000),
+    ] {
+        employees.push_row(&[id, dept, salary_cents]);
+    }
+    db.add_table("employees", employees);
+    db
+}
+
+/// Parse `--name value`; missing flag → default, unparseable value →
+/// error exit (silent fallback would bind the wrong port / pool size).
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match args.iter().position(|a| a == name) {
+        None => default,
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(v)) => v,
+            _ => {
+                eprintln!("error: {name} needs a valid value");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: poneglyph-serve [--port N] [--workers N] [--cache N] [--k N]");
+        return;
+    }
+    let port: u16 = parse_flag(&args, "--port", 7117);
+    let workers: usize = parse_flag(&args, "--workers", 2);
+    let cache: usize = parse_flag(&args, "--cache", 64);
+    let k: u32 = parse_flag(&args, "--k", 12);
+
+    eprintln!("deriving public parameters (k = {k}, no trusted setup)...");
+    let params = IpaParams::setup(k);
+    let db = demo_database();
+    let service = Arc::new(ProvingService::new(
+        params,
+        db,
+        ServiceConfig {
+            workers,
+            cache_capacity: cache,
+            ..ServiceConfig::default()
+        },
+    ));
+    let digest = service.digest();
+    eprintln!("database digest: {}", hex(&digest[..16]));
+
+    let server = ServiceServer::spawn(service, ("127.0.0.1", port)).expect("bind service port");
+    eprintln!(
+        "serving on {} with {workers} prover worker(s); ctrl-c to stop",
+        server.local_addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

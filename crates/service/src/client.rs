@@ -1,0 +1,159 @@
+//! A blocking TCP client for the proving service.
+//!
+//! One [`ServiceClient`] owns one connection and may issue any number of
+//! sequential requests. The client only *transports* responses; callers
+//! establish trust by running
+//! [`verify_query`](poneglyph_core::verify_query) against the shape from
+//! [`ServiceClient::info`] (see [`ServiceClient::query_verified`]).
+
+use crate::protocol::{
+    read_frame, write_frame, ServerInfo, REQ_INFO, REQ_QUERY, RESP_ERR, RESP_INFO, RESP_QUERY,
+};
+use poneglyph_core::{verify_query, QueryResponse};
+use poneglyph_pcs::IpaParams;
+use poneglyph_sql::{canonical_plan, plan_to_bytes, Database, Plan, Table, WireError};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not decode.
+    Wire(WireError),
+    /// The server answered with an error message.
+    Server(String),
+    /// The server broke the framing protocol.
+    Protocol(String),
+    /// The response decoded but did not verify.
+    Verify(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClientError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A proof served over the wire, with its transport metadata.
+#[derive(Debug)]
+pub struct WireResponse {
+    /// The decoded response (still unverified).
+    pub response: QueryResponse,
+    /// True when the server answered from its proof cache.
+    pub cache_hit: bool,
+}
+
+/// One blocking connection to a [`ServiceServer`](crate::ServiceServer).
+pub struct ServiceClient {
+    stream: TcpStream,
+    /// Server facts + rebuilt shape, fetched once per connection: the
+    /// digest and table shapes are immutable for the service's lifetime.
+    cached_info: Option<(ServerInfo, Database)>,
+}
+
+impl ServiceClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            cached_info: None,
+        })
+    }
+
+    fn request(&mut self, msg_type: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), ClientError> {
+        write_frame(&mut self.stream, msg_type, payload)?;
+        match read_frame(&mut self.stream)? {
+            Some((RESP_ERR, body)) => Err(ClientError::Server(
+                String::from_utf8_lossy(&body).into_owned(),
+            )),
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Protocol(
+                "connection closed before response".into(),
+            )),
+        }
+    }
+
+    /// Fetch the server's public facts (digest, parameters, table shapes).
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        let (ty, body) = self.request(REQ_INFO, &[])?;
+        if ty != RESP_INFO {
+            return Err(ClientError::Protocol(format!(
+                "expected info response, got tag {ty:#04x}"
+            )));
+        }
+        Ok(ServerInfo::from_bytes(&body)?)
+    }
+
+    /// Ask the server to prove a plan; returns the decoded (unverified)
+    /// response.
+    pub fn query(&mut self, plan: &Plan) -> Result<WireResponse, ClientError> {
+        let (ty, body) = self.request(REQ_QUERY, &plan_to_bytes(plan))?;
+        if ty != RESP_QUERY {
+            return Err(ClientError::Protocol(format!(
+                "expected query response, got tag {ty:#04x}"
+            )));
+        }
+        let (&hit, rest) = body
+            .split_first()
+            .ok_or_else(|| ClientError::Protocol("empty query response".into()))?;
+        let response = QueryResponse::from_bytes(rest)?;
+        Ok(WireResponse {
+            response,
+            cache_hit: hit != 0,
+        })
+    }
+
+    /// The full trusting-client path: query, then verify against the
+    /// server-advertised shape. Returns the verified result table and
+    /// whether the proof came from the cache.
+    ///
+    /// `params` must be (a prefix-compatible copy of) the server's public
+    /// parameters — they are publicly derivable, so clients run
+    /// [`IpaParams::setup`] themselves rather than trusting served bytes.
+    ///
+    /// Verification runs against [`canonical_plan`]`(plan)` because that
+    /// is the form the server proves (it is also the form shipped on the
+    /// wire); the result is semantically identical to the submitted plan's.
+    /// The server's info (and the shape database rebuilt from it) is
+    /// fetched once and reused for the life of the connection.
+    pub fn query_verified(
+        &mut self,
+        params: &IpaParams,
+        plan: &Plan,
+    ) -> Result<(Table, bool), ClientError> {
+        if self.cached_info.is_none() {
+            let info = self.info()?;
+            let shape = info.shape_database();
+            self.cached_info = Some((info, shape));
+        }
+        let wire = self.query(plan)?;
+        let (_, shape) = self.cached_info.as_ref().expect("info cached above");
+        let table = verify_query(params, shape, &canonical_plan(plan), &wire.response)
+            .map_err(|e| ClientError::Verify(e.to_string()))?;
+        Ok((table, wire.cache_hit))
+    }
+}

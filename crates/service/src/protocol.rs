@@ -1,0 +1,265 @@
+//! The TCP wire protocol: framing and message payloads.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! type    u8       message tag (REQ_* from clients, RESP_* from servers)
+//! length  u32 LE   payload size in bytes
+//! payload length bytes
+//! ```
+//!
+//! Requests:
+//! * [`REQ_INFO`] — empty payload; asks for the server's public facts.
+//! * [`REQ_QUERY`] — payload is a canonical plan
+//!   ([`plan_to_bytes`](poneglyph_sql::plan_to_bytes)).
+//!
+//! Responses:
+//! * [`RESP_INFO`] — a [`ServerInfo`].
+//! * [`RESP_QUERY`] — one cache-hit byte, then a serialized
+//!   [`QueryResponse`](poneglyph_core::QueryResponse).
+//! * [`RESP_ERR`] — a UTF-8 error message.
+//!
+//! Frames are bounded by [`MAX_FRAME`]; a peer announcing a larger payload
+//! is a protocol error, not an allocation.
+
+use poneglyph_core::{read_schema, write_schema};
+use poneglyph_sql::{write_string, ByteReader, Database, Schema, Table, WireError};
+use std::io::{self, Read, Write};
+
+/// Protocol version, carried in [`ServerInfo`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on a frame payload (64 MiB).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Client request: server info.
+pub const REQ_INFO: u8 = 0x01;
+/// Client request: prove a query (payload = canonical plan bytes).
+pub const REQ_QUERY: u8 = 0x02;
+/// Server response to [`REQ_INFO`].
+pub const RESP_INFO: u8 = 0x81;
+/// Server response to [`REQ_QUERY`] (cache-hit byte + response bytes).
+pub const RESP_QUERY: u8 = 0x82;
+/// Server response: request failed (UTF-8 message payload).
+pub const RESP_ERR: u8 = 0xFF;
+
+/// Write one `(type, payload)` frame.
+pub fn write_frame(w: &mut impl Write, msg_type: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&[msg_type])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut head = [0u8; 5];
+    match r.read_exact(&mut head[..1]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    r.read_exact(&mut head[1..])?;
+    let len = u32::from_le_bytes(head[1..].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((head[0], payload)))
+}
+
+/// The server's public facts: everything a verifier needs that is not the
+/// query itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Protocol version the server speaks.
+    pub protocol: u16,
+    /// The committed database's registry digest.
+    pub digest: [u8; 64],
+    /// log2 of the largest circuit the server's parameters support.
+    pub max_k: u32,
+    /// Public table shapes: `(name, schema, row count)`.
+    pub tables: Vec<(String, Schema, u64)>,
+}
+
+/// Upper bound on an advertised per-table row count. The verifier
+/// materializes a zeroed table of this many rows in
+/// [`ServerInfo::shape_database`], so an unbounded count would let a
+/// malicious server drive the client out of memory before any proof is
+/// checked.
+pub const MAX_ADVERTISED_ROWS: u64 = 1 << 24;
+
+/// Upper bound on the advertised database's *total* cell count
+/// (`Σ rows × width` over all tables, ≤ 512 MiB of zeroed `i64`s). The
+/// per-table cap alone would still let a server advertise thousands of
+/// maximal tables; this bounds the whole [`ServerInfo::shape_database`]
+/// allocation.
+pub const MAX_ADVERTISED_CELLS: u64 = 1 << 26;
+
+impl ServerInfo {
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.protocol.to_le_bytes());
+        out.extend_from_slice(&self.digest);
+        out.extend_from_slice(&self.max_k.to_le_bytes());
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for (name, schema, rows) in &self.tables {
+            write_string(&mut out, name);
+            write_schema(&mut out, schema);
+            out.extend_from_slice(&rows.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize; clean errors on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let protocol = r.u16()?;
+        if protocol != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(protocol));
+        }
+        let digest: [u8; 64] = r.take(64)?.try_into().unwrap();
+        let max_k = r.u32()?;
+        let ntables = r.read_len()?;
+        let mut tables = Vec::with_capacity(ntables);
+        let mut total_cells: u64 = 0;
+        for _ in 0..ntables {
+            let name = r.string()?;
+            let schema = read_schema(&mut r)?;
+            let rows = r.u64()?;
+            if rows > MAX_ADVERTISED_ROWS {
+                return Err(WireError::LengthOverflow(rows as usize));
+            }
+            total_cells = total_cells.saturating_add(rows.saturating_mul(schema.width() as u64));
+            if total_cells > MAX_ADVERTISED_CELLS {
+                return Err(WireError::LengthOverflow(total_cells as usize));
+            }
+            tables.push((name, schema, rows));
+        }
+        r.finish()?;
+        Ok(Self {
+            protocol,
+            digest,
+            max_k,
+            tables,
+        })
+    }
+
+    /// Describe a database's public shape.
+    pub fn describe(digest: [u8; 64], max_k: u32, shape: &Database) -> Self {
+        let mut tables: Vec<(String, Schema, u64)> = shape
+            .tables
+            .iter()
+            .map(|(name, t)| (name.clone(), t.schema.clone(), t.len() as u64))
+            .collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        Self {
+            protocol: PROTOCOL_VERSION,
+            digest,
+            max_k,
+            tables,
+        }
+    }
+
+    /// Rebuild the shape database a verifier feeds to
+    /// [`verify_query`](poneglyph_core::verify_query): correct schemas and
+    /// row counts, zeroed values.
+    pub fn shape_database(&self) -> Database {
+        let mut db = Database::new();
+        for (name, schema, rows) in &self.tables {
+            let mut t = Table::empty(schema.clone());
+            let zero = vec![0i64; schema.width()];
+            for _ in 0..*rows {
+                t.push_row(&zero);
+            }
+            db.add_table(name, t);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poneglyph_sql::ColumnType;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, REQ_QUERY, b"hello").unwrap();
+        let mut r = &buf[..];
+        let (ty, payload) = read_frame(&mut r).unwrap().expect("frame");
+        assert_eq!(ty, REQ_QUERY);
+        assert_eq!(payload, b"hello");
+        assert!(read_frame(&mut r).unwrap().is_none()); // clean EOF
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, REQ_QUERY, b"hello").unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocating() {
+        let mut buf = vec![REQ_QUERY];
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn absurd_row_count_rejected() {
+        let mut info = ServerInfo {
+            protocol: PROTOCOL_VERSION,
+            digest: [0u8; 64],
+            max_k: 12,
+            tables: vec![("t".into(), Schema::new(&[("id", ColumnType::Int)]), 1)],
+        };
+        info.tables[0].2 = u64::MAX;
+        let bytes = info.to_bytes();
+        assert!(matches!(
+            ServerInfo::from_bytes(&bytes),
+            Err(WireError::LengthOverflow(_))
+        ));
+
+        // Many individually-legal tables still trip the aggregate budget.
+        info.tables[0].2 = MAX_ADVERTISED_ROWS;
+        let one = info.tables[0].clone();
+        for i in 0..8 {
+            let mut t = one.clone();
+            t.0 = format!("t{i}");
+            info.tables.push(t);
+        }
+        assert!(matches!(
+            ServerInfo::from_bytes(&info.to_bytes()),
+            Err(WireError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn server_info_roundtrip() {
+        let info = ServerInfo {
+            protocol: PROTOCOL_VERSION,
+            digest: [7u8; 64],
+            max_k: 12,
+            tables: vec![(
+                "t".into(),
+                Schema::new(&[("id", ColumnType::Int), ("val", ColumnType::Decimal)]),
+                42,
+            )],
+        };
+        let back = ServerInfo::from_bytes(&info.to_bytes()).expect("decode");
+        assert_eq!(back, info);
+        let shape = back.shape_database();
+        assert_eq!(shape.table("t").unwrap().len(), 42);
+    }
+}

@@ -1,0 +1,115 @@
+//! The TCP front end: accepts connections and speaks the frame protocol on
+//! behalf of a [`ProvingService`].
+
+use crate::protocol::{
+    read_frame, write_frame, ServerInfo, REQ_INFO, REQ_QUERY, RESP_ERR, RESP_INFO, RESP_QUERY,
+};
+use crate::service::ProvingService;
+use poneglyph_sql::plan_from_bytes;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server wrapping a [`ProvingService`].
+///
+/// Each connection gets its own thread and may pipeline any number of
+/// requests; the proving concurrency is still bounded by the service's
+/// worker pool and queue. Stop (or drop) the server to unbind the port;
+/// the service itself is shared and survives.
+pub struct ServiceServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServiceServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start accepting.
+    pub fn spawn(service: Arc<ProvingService>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("poneglyph-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let service = Arc::clone(&service);
+                    // Connection threads are detached: they exit when the
+                    // peer hangs up or the stream errors out.
+                    let _ = std::thread::Builder::new()
+                        .name("poneglyph-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(&service, stream);
+                        });
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServiceServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(service: &ProvingService, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    while let Some((msg_type, payload)) = read_frame(&mut stream)? {
+        match msg_type {
+            REQ_INFO => {
+                let info =
+                    ServerInfo::describe(service.digest(), service.params().k, service.shape());
+                write_frame(&mut stream, RESP_INFO, &info.to_bytes())?;
+            }
+            REQ_QUERY => match plan_from_bytes(&payload) {
+                Ok(plan) => match service.query(plan) {
+                    Ok(served) => {
+                        let mut out = vec![u8::from(served.cache_hit)];
+                        out.extend_from_slice(&served.response.to_bytes());
+                        write_frame(&mut stream, RESP_QUERY, &out)?;
+                    }
+                    Err(e) => write_frame(&mut stream, RESP_ERR, e.to_string().as_bytes())?,
+                },
+                Err(e) => write_frame(&mut stream, RESP_ERR, format!("bad plan: {e}").as_bytes())?,
+            },
+            other => {
+                write_frame(
+                    &mut stream,
+                    RESP_ERR,
+                    format!("unknown request type {other:#04x}").as_bytes(),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}

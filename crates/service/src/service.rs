@@ -1,0 +1,446 @@
+//! The proving service: a long-lived prover answering a stream of queries.
+//!
+//! This is the paper's Figure 2 deployment model as a running system: the
+//! service owns the committed private [`Database`] and the public
+//! [`IpaParams`], accepts planned queries through a *bounded* job queue,
+//! proves them on a pool of worker threads, and serves repeated queries
+//! from an LRU proof cache keyed by `(database digest, plan fingerprint)`.
+//! Identical queries in flight at the same time are deduplicated: the
+//! second waits for the first proof instead of proving again.
+
+use crate::cache::LruCache;
+use poneglyph_core::{database_shape, prove_query, DatabaseCommitment, QueryResponse};
+use poneglyph_pcs::IpaParams;
+use poneglyph_sql::{canonical_plan, canonical_plan_fingerprint, Database, Plan};
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The proof-cache key: which database state, which (canonical) query.
+pub type CacheKey = ([u8; 64], [u8; 32]);
+
+/// Tunables for a [`ProvingService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of prover worker threads.
+    pub workers: usize,
+    /// Maximum number of cached [`QueryResponse`]s.
+    pub cache_capacity: usize,
+    /// Bound of the job queue; submissions beyond it block (or are
+    /// rejected by [`ProvingService::try_submit`]).
+    pub queue_depth: usize,
+    /// Seed for the workers' proof-blinding randomness.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|v| v.get().min(4))
+                .unwrap_or(2),
+            cache_capacity: 64,
+            queue_depth: 64,
+            seed: 0x706f_6e65,
+        }
+    }
+}
+
+/// Errors surfaced to a service caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded queue was full (backpressure).
+    QueueFull,
+    /// The query could not be proven (planning, execution or prover error).
+    Prove(String),
+    /// The service shut down before answering.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueueFull => write!(f, "job queue full"),
+            ServiceError::Prove(e) => write!(f, "proving failed: {e}"),
+            ServiceError::Shutdown => write!(f, "service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A successfully served query.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// The proof-carrying response (shared with the cache). The proof is
+    /// of the *canonical* form of the submitted plan — verify it with
+    /// [`verify_query`](poneglyph_core::verify_query) against
+    /// [`canonical_plan`].
+    pub response: Arc<QueryResponse>,
+    /// True when the response came from the proof cache without proving.
+    pub cache_hit: bool,
+}
+
+/// Monotonic service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Proofs actually generated (cache misses that reached the prover).
+    pub proofs_generated: u64,
+    /// Queries answered straight from the cache.
+    pub cache_hits: u64,
+    /// Queries that missed the cache.
+    pub cache_misses: u64,
+}
+
+struct Job {
+    plan: Plan,
+    reply: SyncSender<Result<Served, ServiceError>>,
+}
+
+struct Shared {
+    params: IpaParams,
+    db: Database,
+    shape: Database,
+    digest: [u8; 64],
+    cache: Mutex<LruCache<CacheKey, Arc<QueryResponse>>>,
+    /// Keys currently being proven, for in-flight deduplication.
+    inflight: Mutex<HashSet<CacheKey>>,
+    inflight_done: Condvar,
+    proofs_generated: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A handle to one submitted query; resolve it with [`JobHandle::wait`].
+pub struct JobHandle {
+    rx: Receiver<Result<Served, ServiceError>>,
+}
+
+impl JobHandle {
+    /// Block until the service answers (or shuts down).
+    pub fn wait(self) -> Result<Served, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+}
+
+/// A multi-threaded proving service over one committed database.
+///
+/// Dropping the service closes the queue and joins every worker.
+pub struct ProvingService {
+    shared: Arc<Shared>,
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ProvingService {
+    /// Start the service: commit to `db`, spawn the worker pool.
+    pub fn new(params: IpaParams, db: Database, config: ServiceConfig) -> Self {
+        let digest = DatabaseCommitment::commit(&params, &db).digest();
+        let shape = database_shape(&db);
+        let shared = Arc::new(Shared {
+            params,
+            db,
+            shape,
+            digest,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
+            proofs_generated: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        });
+        let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                let rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+                std::thread::Builder::new()
+                    .name(format!("poneglyph-prover-{i}"))
+                    .spawn(move || worker_loop(shared, rx, rng))
+                    .expect("spawn prover worker")
+            })
+            .collect();
+        Self {
+            shared,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// The committed database's registry digest.
+    pub fn digest(&self) -> [u8; 64] {
+        self.shared.digest
+    }
+
+    /// The shape (schemas + row counts, zeroed values) a verifier needs.
+    pub fn shape(&self) -> &Database {
+        &self.shared.shape
+    }
+
+    /// The service's public parameters.
+    pub fn params(&self) -> &IpaParams {
+        &self.shared.params
+    }
+
+    /// The private database (prover side only).
+    pub fn database(&self) -> &Database {
+        &self.shared.db
+    }
+
+    /// Enqueue a query, blocking while the queue is full.
+    pub fn submit(&self, plan: Plan) -> JobHandle {
+        let (reply, rx) = sync_channel(1);
+        let job = Job { plan, reply };
+        if let Some(tx) = &self.tx {
+            // A send error means every worker is gone; the handle will
+            // resolve to `Shutdown` because the reply sender was dropped.
+            let _ = tx.send(job);
+        }
+        JobHandle { rx }
+    }
+
+    /// Enqueue a query, failing fast with [`ServiceError::QueueFull`]
+    /// instead of blocking.
+    pub fn try_submit(&self, plan: Plan) -> Result<JobHandle, ServiceError> {
+        let (reply, rx) = sync_channel(1);
+        let job = Job { plan, reply };
+        match &self.tx {
+            Some(tx) => match tx.try_send(job) {
+                Ok(()) => Ok(JobHandle { rx }),
+                Err(TrySendError::Full(_)) => Err(ServiceError::QueueFull),
+                Err(TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
+            },
+            None => Err(ServiceError::Shutdown),
+        }
+    }
+
+    /// Submit and wait: the blocking request path.
+    pub fn query(&self, plan: Plan) -> Result<Served, ServiceError> {
+        self.submit(plan).wait()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            proofs_generated: self.shared.proofs_generated.load(Ordering::SeqCst),
+            cache_hits: self.shared.cache_hits.load(Ordering::SeqCst),
+            cache_misses: self.shared.cache_misses.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for ProvingService {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's recv loop.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>, mut rng: StdRng) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the proving.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break,
+        };
+        let Ok(job) = job else { break };
+        let served = serve_one(&shared, &job.plan, &mut rng);
+        // The client may have given up; a dead reply channel is fine.
+        let _ = job.reply.send(served);
+    }
+}
+
+/// Answer one query: cache → in-flight dedup → prove.
+///
+/// The canonical plan is the query's identity: the proof is generated for
+/// (and must be verified against) `canonical_plan(plan)`, so that every
+/// plan sharing a fingerprint shares one cache entry *and* one circuit.
+fn serve_one(shared: &Shared, plan: &Plan, rng: &mut StdRng) -> Result<Served, ServiceError> {
+    let plan = canonical_plan(plan);
+    let key: CacheKey = (shared.digest, canonical_plan_fingerprint(&plan));
+
+    // Claim the key, or wait for whoever holds it and take their result
+    // from the cache. Lock order is inflight → cache throughout.
+    {
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        loop {
+            if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
+                shared.cache_hits.fetch_add(1, Ordering::SeqCst);
+                return Ok(Served {
+                    response: hit,
+                    cache_hit: true,
+                });
+            }
+            if inflight.insert(key) {
+                break; // claimed: this worker proves
+            }
+            inflight = shared.inflight_done.wait(inflight).expect("inflight wait");
+        }
+    }
+
+    shared.cache_misses.fetch_add(1, Ordering::SeqCst);
+    shared.proofs_generated.fetch_add(1, Ordering::SeqCst);
+    let outcome = prove_query(&shared.params, &shared.db, &plan, rng)
+        .map(Arc::new)
+        .map_err(|e| ServiceError::Prove(e.to_string()));
+
+    if let Ok(response) = &outcome {
+        shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(response));
+    }
+
+    // Release the claim whether proving succeeded or failed, so waiters
+    // either hit the cache or retry the proof themselves.
+    let mut inflight = shared.inflight.lock().expect("inflight lock");
+    inflight.remove(&key);
+    shared.inflight_done.notify_all();
+    drop(inflight);
+
+    outcome.map(|response| Served {
+        response,
+        cache_hit: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poneglyph_core::verify_query;
+    use poneglyph_sql::{CmpOp, ColumnType, Predicate, Schema, Table};
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        let mut t = Table::empty(Schema::new(&[
+            ("id", ColumnType::Int),
+            ("val", ColumnType::Int),
+        ]));
+        for (id, val) in [(1, 10), (2, 20), (3, 30), (4, 40)] {
+            t.push_row(&[id, val]);
+        }
+        db.add_table("t", t);
+        db
+    }
+
+    fn filter_plan(bound: i64) -> Plan {
+        Plan::Filter {
+            input: Box::new(Plan::Scan { table: "t".into() }),
+            predicates: vec![Predicate::ColConst {
+                col: 1,
+                op: CmpOp::Ge,
+                value: bound,
+            }],
+        }
+    }
+
+    #[test]
+    fn serves_and_caches() {
+        let service = ProvingService::new(
+            IpaParams::setup(11),
+            tiny_db(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let first = service.query(filter_plan(20)).expect("first");
+        assert!(!first.cache_hit);
+        let second = service.query(filter_plan(20)).expect("second");
+        assert!(second.cache_hit);
+        assert_eq!(first.response, second.response);
+
+        let stats = service.stats();
+        assert_eq!(stats.proofs_generated, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+
+        // The cached response still verifies from public information.
+        let verified = verify_query(
+            service.params(),
+            service.shape(),
+            &filter_plan(20),
+            &second.response,
+        )
+        .expect("verify");
+        assert_eq!(verified, second.response.result);
+    }
+
+    #[test]
+    fn semantically_equal_plans_share_a_cache_entry() {
+        let service =
+            ProvingService::new(IpaParams::setup(11), tiny_db(), ServiceConfig::default());
+        let a = Plan::Filter {
+            input: Box::new(Plan::Scan { table: "t".into() }),
+            predicates: vec![
+                Predicate::ColConst {
+                    col: 1,
+                    op: CmpOp::Ge,
+                    value: 20,
+                },
+                Predicate::ColConst {
+                    col: 0,
+                    op: CmpOp::Le,
+                    value: 3,
+                },
+            ],
+        };
+        let b = Plan::Filter {
+            input: Box::new(Plan::Scan { table: "t".into() }),
+            predicates: vec![
+                Predicate::ColConst {
+                    col: 0,
+                    op: CmpOp::Le,
+                    value: 3,
+                },
+                Predicate::ColConst {
+                    col: 1,
+                    op: CmpOp::Ge,
+                    value: 20,
+                },
+            ],
+        };
+        assert!(!service.query(a.clone()).expect("a").cache_hit);
+        let shared = service.query(b.clone()).expect("b");
+        assert!(shared.cache_hit);
+        assert_eq!(service.stats().proofs_generated, 1);
+
+        // The shared proof is of the canonical plan, so it verifies for
+        // *both* submitted spellings of the query via their canonical form.
+        for plan in [a, b] {
+            let verified = verify_query(
+                service.params(),
+                service.shape(),
+                &canonical_plan(&plan),
+                &shared.response,
+            )
+            .expect("shared proof verifies");
+            assert_eq!(verified, shared.response.result);
+        }
+    }
+
+    #[test]
+    fn bad_query_reports_error_not_panic() {
+        let service =
+            ProvingService::new(IpaParams::setup(11), tiny_db(), ServiceConfig::default());
+        let missing = Plan::Scan {
+            table: "nope".into(),
+        };
+        match service.query(missing) {
+            Err(ServiceError::Prove(_)) => {}
+            other => panic!("expected prove error, got {other:?}"),
+        }
+        // The failure is not cached; the service keeps running.
+        assert_eq!(service.stats().proofs_generated, 1);
+        assert!(service.query(filter_plan(20)).is_ok());
+    }
+}

@@ -11,12 +11,15 @@
 //! 64-bit integer ones", §5.1): decimals are scaled by 100, dates are
 //! days-since-epoch, strings are dictionary-encoded.
 
+#![warn(missing_docs)]
+
 mod executor;
 mod lexer;
 mod parser;
 mod plan;
 mod planner;
 mod types;
+mod wire;
 
 pub use executor::{execute, ExecError, Executed};
 pub use lexer::{lex, Token};
@@ -26,6 +29,10 @@ pub use plan::{
 };
 pub use planner::{plan_query, Catalog};
 pub use types::{ColumnType, Database, Schema, StringDict, Table, VALUE_BOUND};
+pub use wire::{
+    canonical_plan, canonical_plan_fingerprint, plan_fingerprint, plan_from_bytes, plan_to_bytes,
+    write_string, ByteReader, WireError, PLAN_WIRE_VERSION,
+};
 
 /// Convenience: parse, plan and execute a SQL string against a database.
 pub fn run_sql(db: &mut Database, catalog: &Catalog, sql: &str) -> Result<Executed, String> {

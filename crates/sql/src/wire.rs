@@ -1,0 +1,818 @@
+//! Canonical byte encoding and fingerprinting of query plans.
+//!
+//! The proving service caches proofs under `(database digest, plan
+//! fingerprint)`, and clients ship plans to the prover over the network, so
+//! a [`Plan`] needs a *canonical* serialized form: two semantically
+//! identical plans must encode to the same bytes. Canonicalization
+//! normalizes the commutative parts of a plan (adjacent filters are merged,
+//! conjunctive predicates are sorted and deduplicated, column–column
+//! comparisons are oriented by column index) before encoding; everything
+//! else is a straightforward tagged, length-prefixed binary format.
+//!
+//! The encoding is versioned: the fingerprint preimage starts with a domain
+//! tag including a format version, so any future change to the layout
+//! changes every fingerprint rather than silently colliding with old ones.
+
+use crate::plan::{AggFunc, Aggregate, CmpOp, Plan, Predicate, ScalarExpr};
+use poneglyph_hash::Blake2b;
+
+/// Format version of the canonical plan encoding.
+pub const PLAN_WIRE_VERSION: u16 = 1;
+
+/// Domain tag mixed into every plan fingerprint.
+const FINGERPRINT_DOMAIN: &[u8] = b"poneglyph-plan-fingerprint-v1";
+
+/// Upper bound on any length field in the plan encoding; a defense against
+/// allocation bombs in attacker-supplied bytes.
+const MAX_LEN: usize = 1 << 20;
+
+/// Decoding failure for wire bytes (plans, proofs, responses).
+///
+/// Decoders must *never* panic on malformed input — every structural
+/// problem maps to one of these variants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// An enum tag byte had no defined meaning.
+    BadTag(u8),
+    /// A length field exceeded the sanity bound.
+    LengthOverflow(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Input had extra bytes after the structure ended.
+    TrailingBytes(usize),
+    /// A version field did not match what this build understands.
+    BadVersion(u16),
+    /// A payload failed a domain-specific validity check.
+    Invalid(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            WireError::LengthOverflow(n) => write!(f, "length {n} exceeds sanity bound"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after structure"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Invalid(e) => write!(f, "invalid payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked sequential reader over wire bytes.
+///
+/// Shared by the plan decoder here and the response decoder in
+/// `poneglyph-core`; every read returns [`WireError::Truncated`] instead of
+/// panicking when the input runs out.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, off: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.off
+    }
+
+    /// Read a fixed-size chunk.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.off.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.bytes.get(self.off..end).ok_or(WireError::Truncated)?;
+        self.off = end;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32` length field, enforcing the sanity bound.
+    pub fn read_len(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > MAX_LEN {
+            return Err(WireError::LengthOverflow(n));
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let n = self.read_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Fail unless every input byte was consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.off == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.bytes.len() - self.off))
+        }
+    }
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn write_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------------
+
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+fn canonical_predicate(p: &Predicate) -> Predicate {
+    match p {
+        Predicate::ColCol { left, op, right } if left > right => Predicate::ColCol {
+            left: *right,
+            op: mirror(*op),
+            right: *left,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Rewrite a plan into its canonical form: adjacent `Filter` nodes merged,
+/// predicates oriented, sorted (by encoded bytes) and deduplicated. The
+/// canonical plan is semantically identical to the input and is what
+/// [`plan_to_bytes`] and [`plan_fingerprint`] operate on.
+pub fn canonical_plan(plan: &Plan) -> Plan {
+    match plan {
+        Plan::Scan { table } => Plan::Scan {
+            table: table.clone(),
+        },
+        Plan::Filter { input, predicates } => {
+            let mut preds: Vec<Predicate> = predicates.iter().map(canonical_predicate).collect();
+            let mut inner = canonical_plan(input);
+            // Merge a chain of filters into one conjunction.
+            while let Plan::Filter { input, predicates } = inner {
+                preds.extend(predicates);
+                inner = *input;
+            }
+            let mut keyed: Vec<(Vec<u8>, Predicate)> = preds
+                .into_iter()
+                .map(|p| {
+                    let mut b = Vec::new();
+                    encode_predicate(&mut b, &p);
+                    (b, p)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
+            keyed.dedup_by(|a, b| a.0 == b.0);
+            Plan::Filter {
+                input: Box::new(inner),
+                predicates: keyed.into_iter().map(|(_, p)| p).collect(),
+            }
+        }
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(canonical_plan(input)),
+            exprs: exprs.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => Plan::Join {
+            left: Box::new(canonical_plan(left)),
+            right: Box::new(canonical_plan(right)),
+            left_key: *left_key,
+            right_key: *right_key,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: Box::new(canonical_plan(input)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(canonical_plan(input)),
+            keys: keys.clone(),
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(canonical_plan(input)),
+            n: *n,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+const TAG_SCAN: u8 = 0x01;
+const TAG_FILTER: u8 = 0x02;
+const TAG_PROJECT: u8 = 0x03;
+const TAG_JOIN: u8 = 0x04;
+const TAG_AGGREGATE: u8 = 0x05;
+const TAG_SORT: u8 = 0x06;
+const TAG_LIMIT: u8 = 0x07;
+
+const TAG_COL: u8 = 0x10;
+const TAG_CONST: u8 = 0x11;
+const TAG_ADD: u8 = 0x12;
+const TAG_SUB: u8 = 0x13;
+const TAG_MUL: u8 = 0x14;
+const TAG_DIV: u8 = 0x15;
+const TAG_CASE_EQ: u8 = 0x16;
+const TAG_EXTRACT_YEAR: u8 = 0x17;
+
+const TAG_COL_CONST: u8 = 0x20;
+const TAG_COL_COL: u8 = 0x21;
+
+fn cmp_op_byte(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => 0,
+        CmpOp::Le => 1,
+        CmpOp::Gt => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Eq => 4,
+        CmpOp::Ne => 5,
+    }
+}
+
+fn cmp_op_from_byte(b: u8) -> Result<CmpOp, WireError> {
+    Ok(match b {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        5 => CmpOp::Ne,
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn agg_func_byte(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Sum => 0,
+        AggFunc::Count => 1,
+        AggFunc::Avg => 2,
+        AggFunc::Min => 3,
+        AggFunc::Max => 4,
+    }
+}
+
+fn agg_func_from_byte(b: u8) -> Result<AggFunc, WireError> {
+    Ok(match b {
+        0 => AggFunc::Sum,
+        1 => AggFunc::Count,
+        2 => AggFunc::Avg,
+        3 => AggFunc::Min,
+        4 => AggFunc::Max,
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn encode_expr(out: &mut Vec<u8>, e: &ScalarExpr) {
+    match e {
+        ScalarExpr::Col(i) => {
+            out.push(TAG_COL);
+            out.extend_from_slice(&(*i as u32).to_le_bytes());
+        }
+        ScalarExpr::Const(c) => {
+            out.push(TAG_CONST);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        ScalarExpr::Add(a, b) => {
+            out.push(TAG_ADD);
+            encode_expr(out, a);
+            encode_expr(out, b);
+        }
+        ScalarExpr::Sub(a, b) => {
+            out.push(TAG_SUB);
+            encode_expr(out, a);
+            encode_expr(out, b);
+        }
+        ScalarExpr::Mul(a, b) => {
+            out.push(TAG_MUL);
+            encode_expr(out, a);
+            encode_expr(out, b);
+        }
+        ScalarExpr::Div(a, b) => {
+            out.push(TAG_DIV);
+            encode_expr(out, a);
+            encode_expr(out, b);
+        }
+        ScalarExpr::CaseEq {
+            col,
+            value,
+            then,
+            otherwise,
+        } => {
+            out.push(TAG_CASE_EQ);
+            out.extend_from_slice(&(*col as u32).to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+            encode_expr(out, then);
+            encode_expr(out, otherwise);
+        }
+        ScalarExpr::ExtractYear(inner) => {
+            out.push(TAG_EXTRACT_YEAR);
+            encode_expr(out, inner);
+        }
+    }
+}
+
+/// Recursion ceiling for expression and plan decoding: deeply nested inputs
+/// are rejected rather than allowed to overflow the stack.
+const MAX_DEPTH: usize = 256;
+
+fn decode_expr(r: &mut ByteReader<'_>, depth: usize) -> Result<ScalarExpr, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::Invalid("expression nesting too deep".into()));
+    }
+    Ok(match r.u8()? {
+        TAG_COL => ScalarExpr::Col(r.u32()? as usize),
+        TAG_CONST => ScalarExpr::Const(r.i64()?),
+        TAG_ADD => ScalarExpr::Add(
+            Box::new(decode_expr(r, depth + 1)?),
+            Box::new(decode_expr(r, depth + 1)?),
+        ),
+        TAG_SUB => ScalarExpr::Sub(
+            Box::new(decode_expr(r, depth + 1)?),
+            Box::new(decode_expr(r, depth + 1)?),
+        ),
+        TAG_MUL => ScalarExpr::Mul(
+            Box::new(decode_expr(r, depth + 1)?),
+            Box::new(decode_expr(r, depth + 1)?),
+        ),
+        TAG_DIV => ScalarExpr::Div(
+            Box::new(decode_expr(r, depth + 1)?),
+            Box::new(decode_expr(r, depth + 1)?),
+        ),
+        TAG_CASE_EQ => ScalarExpr::CaseEq {
+            col: r.u32()? as usize,
+            value: r.i64()?,
+            then: Box::new(decode_expr(r, depth + 1)?),
+            otherwise: Box::new(decode_expr(r, depth + 1)?),
+        },
+        TAG_EXTRACT_YEAR => ScalarExpr::ExtractYear(Box::new(decode_expr(r, depth + 1)?)),
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn encode_predicate(out: &mut Vec<u8>, p: &Predicate) {
+    match p {
+        Predicate::ColConst { col, op, value } => {
+            out.push(TAG_COL_CONST);
+            out.extend_from_slice(&(*col as u32).to_le_bytes());
+            out.push(cmp_op_byte(*op));
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        Predicate::ColCol { left, op, right } => {
+            out.push(TAG_COL_COL);
+            out.extend_from_slice(&(*left as u32).to_le_bytes());
+            out.push(cmp_op_byte(*op));
+            out.extend_from_slice(&(*right as u32).to_le_bytes());
+        }
+    }
+}
+
+fn decode_predicate(r: &mut ByteReader<'_>) -> Result<Predicate, WireError> {
+    Ok(match r.u8()? {
+        TAG_COL_CONST => Predicate::ColConst {
+            col: r.u32()? as usize,
+            op: cmp_op_from_byte(r.u8()?)?,
+            value: r.i64()?,
+        },
+        TAG_COL_COL => Predicate::ColCol {
+            left: r.u32()? as usize,
+            op: cmp_op_from_byte(r.u8()?)?,
+            right: r.u32()? as usize,
+        },
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+fn encode_plan(out: &mut Vec<u8>, plan: &Plan) {
+    match plan {
+        Plan::Scan { table } => {
+            out.push(TAG_SCAN);
+            write_string(out, table);
+        }
+        Plan::Filter { input, predicates } => {
+            out.push(TAG_FILTER);
+            encode_plan(out, input);
+            out.extend_from_slice(&(predicates.len() as u32).to_le_bytes());
+            for p in predicates {
+                encode_predicate(out, p);
+            }
+        }
+        Plan::Project { input, exprs } => {
+            out.push(TAG_PROJECT);
+            encode_plan(out, input);
+            out.extend_from_slice(&(exprs.len() as u32).to_le_bytes());
+            for (name, e) in exprs {
+                write_string(out, name);
+                encode_expr(out, e);
+            }
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            out.push(TAG_JOIN);
+            encode_plan(out, left);
+            encode_plan(out, right);
+            out.extend_from_slice(&(*left_key as u32).to_le_bytes());
+            out.extend_from_slice(&(*right_key as u32).to_le_bytes());
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            out.push(TAG_AGGREGATE);
+            encode_plan(out, input);
+            out.extend_from_slice(&(group_by.len() as u32).to_le_bytes());
+            for g in group_by {
+                out.extend_from_slice(&(*g as u32).to_le_bytes());
+            }
+            out.extend_from_slice(&(aggs.len() as u32).to_le_bytes());
+            for (name, agg) in aggs {
+                write_string(out, name);
+                out.push(agg_func_byte(agg.func));
+                encode_expr(out, &agg.input);
+            }
+        }
+        Plan::Sort { input, keys } => {
+            out.push(TAG_SORT);
+            encode_plan(out, input);
+            out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+            for (col, desc) in keys {
+                out.extend_from_slice(&(*col as u32).to_le_bytes());
+                out.push(u8::from(*desc));
+            }
+        }
+        Plan::Limit { input, n } => {
+            out.push(TAG_LIMIT);
+            encode_plan(out, input);
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+    }
+}
+
+fn decode_plan(r: &mut ByteReader<'_>, depth: usize) -> Result<Plan, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::Invalid("plan nesting too deep".into()));
+    }
+    Ok(match r.u8()? {
+        TAG_SCAN => Plan::Scan { table: r.string()? },
+        TAG_FILTER => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            let n = r.read_len()?;
+            let mut predicates = Vec::with_capacity(n);
+            for _ in 0..n {
+                predicates.push(decode_predicate(r)?);
+            }
+            Plan::Filter { input, predicates }
+        }
+        TAG_PROJECT => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            let n = r.read_len()?;
+            let mut exprs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.string()?;
+                exprs.push((name, decode_expr(r, 0)?));
+            }
+            Plan::Project { input, exprs }
+        }
+        TAG_JOIN => {
+            let left = Box::new(decode_plan(r, depth + 1)?);
+            let right = Box::new(decode_plan(r, depth + 1)?);
+            Plan::Join {
+                left,
+                right,
+                left_key: r.u32()? as usize,
+                right_key: r.u32()? as usize,
+            }
+        }
+        TAG_AGGREGATE => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            let ng = r.read_len()?;
+            let mut group_by = Vec::with_capacity(ng);
+            for _ in 0..ng {
+                group_by.push(r.u32()? as usize);
+            }
+            let na = r.read_len()?;
+            let mut aggs = Vec::with_capacity(na);
+            for _ in 0..na {
+                let name = r.string()?;
+                let func = agg_func_from_byte(r.u8()?)?;
+                let input_expr = decode_expr(r, 0)?;
+                aggs.push((
+                    name,
+                    Aggregate {
+                        func,
+                        input: input_expr,
+                    },
+                ));
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            }
+        }
+        TAG_SORT => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            let n = r.read_len()?;
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                let col = r.u32()? as usize;
+                let desc = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(WireError::BadTag(other)),
+                };
+                keys.push((col, desc));
+            }
+            Plan::Sort { input, keys }
+        }
+        TAG_LIMIT => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            let n = r.u64()? as usize;
+            Plan::Limit { input, n }
+        }
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+/// Versioned encoding of a plan *as given* — callers must canonicalize
+/// first for the bytes to be canonical.
+fn encode_versioned(plan: &Plan) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&PLAN_WIRE_VERSION.to_le_bytes());
+    encode_plan(&mut out, plan);
+    out
+}
+
+/// Serialize a plan in canonical form (versioned, self-delimiting).
+pub fn plan_to_bytes(plan: &Plan) -> Vec<u8> {
+    encode_versioned(&canonical_plan(plan))
+}
+
+/// Deserialize a plan; rejects malformed, truncated or over-long input with
+/// a clean [`WireError`] (never panics).
+pub fn plan_from_bytes(bytes: &[u8]) -> Result<Plan, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.u16()?;
+    if version != PLAN_WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let plan = decode_plan(&mut r, 0)?;
+    r.finish()?;
+    Ok(plan)
+}
+
+fn fingerprint_of_bytes(encoded: &[u8]) -> [u8; 32] {
+    let mut h = Blake2b::new();
+    h.update(FINGERPRINT_DOMAIN);
+    h.update(encoded);
+    let full = h.finalize();
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&full[..32]);
+    out
+}
+
+/// The 32-byte fingerprint of a plan's canonical encoding.
+///
+/// Semantically identical plans (same conjunction in any order, chained vs.
+/// merged filters, mirrored column comparisons) share a fingerprint;
+/// different circuits get different fingerprints. This is the cache key
+/// component and the wire-level identity of a query.
+pub fn plan_fingerprint(plan: &Plan) -> [u8; 32] {
+    fingerprint_of_bytes(&plan_to_bytes(plan))
+}
+
+/// [`plan_fingerprint`] for a plan that is *already* canonical (the output
+/// of [`canonical_plan`] or [`plan_from_bytes`]), skipping the redundant
+/// re-canonicalization clone. Equal to `plan_fingerprint` on canonical
+/// input; on non-canonical input it fingerprints the given shape verbatim.
+pub fn canonical_plan_fingerprint(plan: &Plan) -> [u8; 32] {
+    fingerprint_of_bytes(&encode_versioned(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(t: &str) -> Plan {
+        Plan::Scan { table: t.into() }
+    }
+
+    fn sample_plan() -> Plan {
+        Plan::Limit {
+            input: Box::new(Plan::Sort {
+                input: Box::new(Plan::Aggregate {
+                    input: Box::new(Plan::Join {
+                        left: Box::new(Plan::Filter {
+                            input: Box::new(scan("t")),
+                            predicates: vec![
+                                Predicate::ColConst {
+                                    col: 2,
+                                    op: CmpOp::Ge,
+                                    value: 20,
+                                },
+                                Predicate::ColCol {
+                                    left: 0,
+                                    op: CmpOp::Lt,
+                                    right: 2,
+                                },
+                            ],
+                        }),
+                        right: Box::new(scan("dim")),
+                        left_key: 1,
+                        right_key: 0,
+                    }),
+                    group_by: vec![4],
+                    aggs: vec![(
+                        "s".into(),
+                        Aggregate {
+                            func: AggFunc::Sum,
+                            input: ScalarExpr::Mul(
+                                Box::new(ScalarExpr::Col(2)),
+                                Box::new(ScalarExpr::Const(3)),
+                            ),
+                        },
+                    )],
+                }),
+                keys: vec![(1, true)],
+            }),
+            n: 5,
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let plan = canonical_plan(&sample_plan());
+        let bytes = plan_to_bytes(&plan);
+        let back = plan_from_bytes(&bytes).expect("decode");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn fingerprint_ignores_predicate_order() {
+        let a = Plan::Filter {
+            input: Box::new(scan("t")),
+            predicates: vec![
+                Predicate::ColConst {
+                    col: 0,
+                    op: CmpOp::Lt,
+                    value: 9,
+                },
+                Predicate::ColConst {
+                    col: 1,
+                    op: CmpOp::Ge,
+                    value: 3,
+                },
+            ],
+        };
+        let b = Plan::Filter {
+            input: Box::new(scan("t")),
+            predicates: vec![
+                Predicate::ColConst {
+                    col: 1,
+                    op: CmpOp::Ge,
+                    value: 3,
+                },
+                Predicate::ColConst {
+                    col: 0,
+                    op: CmpOp::Lt,
+                    value: 9,
+                },
+            ],
+        };
+        assert_eq!(plan_fingerprint(&a), plan_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_merges_filter_chains_and_mirrors_comparisons() {
+        // filter(filter(scan, p1), p2) == filter(scan, [p2, p1])
+        let p1 = Predicate::ColConst {
+            col: 0,
+            op: CmpOp::Gt,
+            value: 1,
+        };
+        let p2 = Predicate::ColCol {
+            left: 3,
+            op: CmpOp::Gt,
+            right: 1,
+        };
+        let chained = Plan::Filter {
+            input: Box::new(Plan::Filter {
+                input: Box::new(scan("t")),
+                predicates: vec![p1.clone()],
+            }),
+            predicates: vec![p2],
+        };
+        // col1 < col3 is the mirror of col3 > col1
+        let merged = Plan::Filter {
+            input: Box::new(scan("t")),
+            predicates: vec![
+                Predicate::ColCol {
+                    left: 1,
+                    op: CmpOp::Lt,
+                    right: 3,
+                },
+                p1,
+            ],
+        };
+        assert_eq!(plan_fingerprint(&chained), plan_fingerprint(&merged));
+    }
+
+    #[test]
+    fn canonical_fingerprint_matches_on_canonical_plans() {
+        let plan = sample_plan();
+        assert_eq!(
+            canonical_plan_fingerprint(&canonical_plan(&plan)),
+            plan_fingerprint(&plan)
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_queries() {
+        let base = sample_plan();
+        let mut other = sample_plan();
+        if let Plan::Limit { n, .. } = &mut other {
+            *n = 6;
+        }
+        assert_ne!(plan_fingerprint(&base), plan_fingerprint(&other));
+    }
+
+    #[test]
+    fn malformed_bytes_rejected_cleanly() {
+        let bytes = plan_to_bytes(&sample_plan());
+        // Every truncation either fails cleanly or (never) panics.
+        for cut in 0..bytes.len() {
+            assert!(plan_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            plan_from_bytes(&extended),
+            Err(WireError::TrailingBytes(1))
+        ));
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[0] = 0xEE;
+        assert!(matches!(
+            plan_from_bytes(&bad),
+            Err(WireError::BadVersion(_))
+        ));
+        // Unknown tag.
+        let mut bad = bytes;
+        bad[2] = 0x7F;
+        assert!(plan_from_bytes(&bad).is_err());
+    }
+}

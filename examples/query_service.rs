@@ -1,0 +1,118 @@
+//! Query service: a long-lived prover serving concurrent clients over TCP.
+//!
+//! ```sh
+//! cargo run --release --example query_service
+//! ```
+//!
+//! The paper's Figure 2 as a running system: the prover commits to its
+//! private database once, then answers a stream of queries; repeated
+//! queries are served from the proof cache without re-proving, and clients
+//! verify every response from public information only (the plan, the table
+//! shapes, and publicly derivable parameters).
+
+use poneglyphdb::prelude::*;
+use poneglyphdb::sql::{
+    AggFunc, Aggregate, CmpOp, ColumnType, Predicate, ScalarExpr, Schema, Table,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn build_db() -> Database {
+    let mut db = Database::new();
+    let mut orders = Table::empty(Schema::new(&[
+        ("order_id", ColumnType::Int),
+        ("region", ColumnType::Int),
+        ("amount", ColumnType::Decimal),
+    ]));
+    for i in 0..32i64 {
+        orders.push_row(&[i + 1, i % 4, 10_000 + 731 * i]);
+    }
+    db.add_table("orders", orders);
+    db
+}
+
+fn revenue_by_region(min_amount: i64) -> Plan {
+    Plan::Aggregate {
+        input: Box::new(Plan::Filter {
+            input: Box::new(Plan::Scan {
+                table: "orders".into(),
+            }),
+            predicates: vec![Predicate::ColConst {
+                col: 2,
+                op: CmpOp::Ge,
+                value: min_amount,
+            }],
+        }),
+        group_by: vec![1],
+        aggs: vec![(
+            "revenue".into(),
+            Aggregate {
+                func: AggFunc::Sum,
+                input: ScalarExpr::Col(2),
+            },
+        )],
+    }
+}
+
+fn main() {
+    // Server side: parameters, private data, worker pool, TCP listener.
+    let params = IpaParams::setup(12);
+    let service = Arc::new(ProvingService::new(
+        params.clone(),
+        build_db(),
+        ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        },
+    ));
+    println!(
+        "service up; database digest {}…",
+        hex(&service.digest()[..8])
+    );
+    let server = poneglyphdb::service::ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind");
+    let addr = server.local_addr();
+    println!("listening on {addr}");
+
+    // Client side: four concurrent analysts. Two ask the same question —
+    // the service proves it once and serves the twin from the cache.
+    let queries = [
+        revenue_by_region(10_000),
+        revenue_by_region(15_000),
+        revenue_by_region(10_000), // duplicate of the first
+        revenue_by_region(20_000),
+    ];
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, plan) in queries.iter().enumerate() {
+            let params = &params;
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                let (result, cache_hit) =
+                    client.query_verified(params, plan).expect("query + verify");
+                println!(
+                    "client {i}: verified {} group(s) in {:?}{}",
+                    result.len(),
+                    t0.elapsed(),
+                    if cache_hit { " (cache hit)" } else { "" }
+                );
+            });
+        }
+    });
+
+    let stats = service.stats();
+    println!(
+        "served {} queries in {:?}: {} proof(s) generated, {} cache hit(s)",
+        queries.len(),
+        start.elapsed(),
+        stats.proofs_generated,
+        stats.cache_hits
+    );
+    server.stop();
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

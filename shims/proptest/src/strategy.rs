@@ -223,7 +223,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Size specification for [`vec`]: a fixed size or a half-open range.
+    /// Size specification for [`vec()`]: a fixed size or a half-open range.
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive

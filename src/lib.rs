@@ -24,6 +24,8 @@
 //! * [`sql`] — SQL parser, planner and witness-generating executor
 //! * [`tpch`] — the evaluation workload (scaled dbgen + Q1/Q3/Q5/Q8/Q9/Q18)
 //! * [`baselines`] — ZKSQL-style interactive proving and Libra-style GKR
+//! * [`service`] — the long-lived proving service (job queue, proof cache,
+//!   TCP wire protocol)
 
 pub use poneglyph_arith as arith;
 pub use poneglyph_baselines as baselines;
@@ -33,6 +35,7 @@ pub use poneglyph_hash as hash;
 pub use poneglyph_pcs as pcs;
 pub use poneglyph_plonkish as plonkish;
 pub use poneglyph_poly as poly;
+pub use poneglyph_service as service;
 pub use poneglyph_sql as sql;
 pub use poneglyph_tpch as tpch;
 
@@ -43,7 +46,8 @@ pub mod prelude {
         DatabaseCommitment, QueryResponse,
     };
     pub use poneglyph_pcs::IpaParams;
+    pub use poneglyph_service::{ProvingService, ServiceClient, ServiceConfig, ServiceServer};
     pub use poneglyph_sql::{
-        catalog_of, execute, parse, plan_query, Catalog, Database, Plan, Table,
+        catalog_of, execute, parse, plan_fingerprint, plan_query, Catalog, Database, Plan, Table,
     };
 }

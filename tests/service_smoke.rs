@@ -1,0 +1,166 @@
+//! End-to-end service smoke test: a proving service on an ephemeral TCP
+//! port, concurrent clients, proof verification from public info only, and
+//! the cache-hit guarantee (the second identical query never re-proves,
+//! asserted via the service's prove counter).
+
+use poneglyphdb::prelude::*;
+use poneglyphdb::service::ServiceServer;
+use poneglyphdb::sql::{CmpOp, ColumnType, Predicate, Schema, Table};
+use std::sync::Arc;
+
+fn test_db() -> Database {
+    let mut db = Database::new();
+    let mut t = Table::empty(Schema::new(&[
+        ("id", ColumnType::Int),
+        ("grp", ColumnType::Int),
+        ("val", ColumnType::Int),
+    ]));
+    for (id, grp, val) in [
+        (1, 7, 10),
+        (2, 8, 20),
+        (3, 7, 30),
+        (4, 8, 40),
+        (5, 7, 50),
+        (6, 9, 60),
+    ] {
+        t.push_row(&[id, grp, val]);
+    }
+    db.add_table("t", t);
+    db
+}
+
+fn query_plan() -> Plan {
+    Plan::Filter {
+        input: Box::new(Plan::Scan { table: "t".into() }),
+        predicates: vec![Predicate::ColConst {
+            col: 2,
+            op: CmpOp::Ge,
+            value: 20,
+        }],
+    }
+}
+
+/// The same query spelled differently: an extra always-true predicate
+/// order and a chained filter. Canonicalization must make this share the
+/// cached proof of [`query_plan`]'s canonical sibling below.
+fn reordered_two_pred_plan(flip: bool) -> Plan {
+    let p1 = Predicate::ColConst {
+        col: 2,
+        op: CmpOp::Ge,
+        value: 20,
+    };
+    let p2 = Predicate::ColConst {
+        col: 0,
+        op: CmpOp::Le,
+        value: 6,
+    };
+    let predicates = if flip { vec![p2, p1] } else { vec![p1, p2] };
+    Plan::Filter {
+        input: Box::new(Plan::Scan { table: "t".into() }),
+        predicates,
+    }
+}
+
+#[test]
+fn concurrent_clients_over_tcp_share_one_proof() {
+    let params = IpaParams::setup(11);
+    let service = Arc::new(ProvingService::new(
+        params.clone(),
+        test_db(),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // The same query from two threads at once: in-flight deduplication
+    // means exactly one proof is generated, and both responses verify.
+    let results: Vec<(Table, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let params = &params;
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    client
+                        .query_verified(params, &query_plan())
+                        .expect("query + verify")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let expected = poneglyphdb::sql::execute(&test_db(), &query_plan())
+        .unwrap()
+        .output;
+    for (table, _) in &results {
+        assert_eq!(table, &expected, "both clients get the verified result");
+    }
+    assert_eq!(
+        service.stats().proofs_generated,
+        1,
+        "concurrent identical queries must share one proof"
+    );
+
+    // A third request is now a guaranteed cache hit, served without
+    // touching the prover.
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let (table, cache_hit) = client
+        .query_verified(&params, &query_plan())
+        .expect("cached query");
+    assert_eq!(table, expected);
+    assert!(cache_hit, "repeat query must come from the proof cache");
+    assert_eq!(
+        service.stats().proofs_generated,
+        1,
+        "cache hit must not invoke the prover"
+    );
+    assert!(service.stats().cache_hits >= 1);
+
+    // Semantically identical plans with reordered predicates share one
+    // proof over TCP — and the shared proof verifies for both spellings.
+    let proofs_before = service.stats().proofs_generated;
+    let (r1, hit1) = client
+        .query_verified(&params, &reordered_two_pred_plan(false))
+        .expect("two-pred query");
+    let (r2, hit2) = client
+        .query_verified(&params, &reordered_two_pred_plan(true))
+        .expect("reordered two-pred query");
+    assert_eq!(r1, r2);
+    assert!(!hit1, "first spelling is a fresh proof");
+    assert!(hit2, "reordered spelling must hit the same cache entry");
+    assert_eq!(service.stats().proofs_generated, proofs_before + 1);
+
+    server.stop();
+}
+
+#[test]
+fn server_reports_clean_errors_for_bad_requests() {
+    let params = IpaParams::setup(11);
+    let service = Arc::new(ProvingService::new(
+        params,
+        test_db(),
+        ServiceConfig::default(),
+    ));
+    let server = ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    // Unknown table: the prover fails, the connection survives.
+    let missing = Plan::Scan {
+        table: "nope".into(),
+    };
+    match client.query(&missing) {
+        Err(poneglyphdb::service::ClientError::Server(msg)) => {
+            assert!(msg.contains("nope") || msg.contains("proving"), "{msg}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    // The same connection still answers good queries afterwards.
+    let info = client.info().expect("info after error");
+    assert_eq!(info.digest, service.digest());
+    let wire = client.query(&query_plan()).expect("good query");
+    assert!(!wire.response.result.is_empty());
+}
