@@ -2,7 +2,7 @@
 //! plan. `repro fig10` runs the six queries at three database scales.
 use criterion::{criterion_group, criterion_main, Criterion};
 use poneglyph_bench::rng;
-use poneglyph_core::prove_query;
+use poneglyph_core::ProverSession;
 use poneglyph_pcs::IpaParams;
 use poneglyph_sql::{CmpOp, Plan, Predicate};
 use poneglyph_tpch::generate;
@@ -24,7 +24,12 @@ fn bench(c: &mut Criterion) {
     for rows in [16usize, 32] {
         let db = generate(rows);
         g.bench_function(format!("filter_{rows}_rows"), |b| {
-            b.iter(|| prove_query(&params, &db, &plan, &mut rng()).expect("prove"))
+            // Cold semantics: a fresh session per proof.
+            b.iter(|| {
+                ProverSession::new(params.clone(), db.clone())
+                    .prove(&plan, &mut rng())
+                    .expect("prove")
+            })
         });
     }
     g.finish();

@@ -6,7 +6,7 @@
 //! benches share.
 
 use poneglyph_baselines::{libra, sqlcirc, zksql};
-use poneglyph_core::{prove_query, verify_query, GateSet};
+use poneglyph_core::{GateSet, ProverSession, VerifierSession};
 use poneglyph_pcs::IpaParams;
 use poneglyph_sql::{execute, Database, Plan};
 use rand::{rngs::StdRng, SeedableRng};
@@ -103,10 +103,13 @@ pub fn measure_query(
     plan: &Plan,
 ) -> QueryMeasurement {
     let mut r = rng();
-    let (response, prove, peak) =
-        timed_with_peak(|| prove_query(params, db, plan, &mut r).expect("prove"));
-    let shape = poneglyph_core::database_shape(db);
-    let (res, verify) = timed(|| verify_query(params, &shape, plan, &response).expect("verify"));
+    // Cold semantics (the paper's metric): fresh sessions, nothing
+    // amortized across queries. Sessions are built outside the timed
+    // region so the measured peak stays the prover's own footprint.
+    let prover = ProverSession::new(params.clone(), db.clone());
+    let (response, prove, peak) = timed_with_peak(|| prover.prove(plan, &mut r).expect("prove"));
+    let verifier = VerifierSession::new(params.clone(), poneglyph_core::database_shape(db));
+    let (res, verify) = timed(|| verifier.verify(plan, &response).expect("verify"));
     let _ = res;
     QueryMeasurement {
         name: name.to_string(),

@@ -3,12 +3,13 @@
 //! paper.
 
 use crate::compiler::{compile, CompiledQuery, GateSet};
-use crate::encode::{decode, encode_fq};
-use poneglyph_arith::{Fq, PrimeField};
+use crate::encode::encode_fq;
+use crate::session::{ProverSession, VerifierSession};
+use poneglyph_arith::Fq;
 use poneglyph_curve::PallasAffine;
 use poneglyph_hash::Blake2b;
 use poneglyph_pcs::IpaParams;
-use poneglyph_plonkish::{keygen, mock_prove, prove, verify, Proof, ProvingKey};
+use poneglyph_plonkish::{keygen_pk, mock_prove, Proof, ProvingKey};
 use poneglyph_sql::{execute, Database, Plan, Table};
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -172,29 +173,26 @@ pub fn prover_setup(
         )));
     }
     let params_k = params.truncate(k);
-    let pk = keygen(&params_k, &compiled.cs, &compiled.asn);
+    let pk = keygen_pk(&params_k, &compiled.cs, &compiled.asn);
     Ok((compiled, pk, params_k))
 }
 
 /// Execute a query and produce a [`QueryResponse`] (the full prover path).
+///
+/// One-shot wrapper over a throwaway [`ProverSession`]: every call clones
+/// the database and regenerates the proving key. Long-lived provers should
+/// hold a session instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a `ProverSession` and call `prove` — it caches keys across queries"
+)]
 pub fn prove_query(
     params: &IpaParams,
     db: &Database,
     plan: &Plan,
     rng: &mut impl Rng,
 ) -> Result<QueryResponse, DbError> {
-    let trace = execute(db, plan).map_err(|e| DbError::Execute(e.to_string()))?;
-    let result = trace.output.clone();
-    let (compiled, pk, params_k) = prover_setup(params, db, plan)?;
-    let instance = compiled.instance.clone();
-    let proof =
-        prove(&params_k, &pk, compiled.asn, rng).map_err(|e| DbError::Prove(e.to_string()))?;
-    Ok(QueryResponse {
-        result,
-        instance,
-        proof,
-        k: params_k.k,
-    })
+    ProverSession::new(params.clone(), db.clone()).prove(plan, rng)
 }
 
 /// Check a query circuit's constraints without proving (fast debugging).
@@ -230,49 +228,23 @@ pub fn database_shape(db: &Database) -> Database {
 
 /// Verify a [`QueryResponse`] (verifier side): re-derive the circuit
 /// structure from the plan + public table sizes, regenerate the verifying
-/// key, check the proof against the instance, and extract the result.
+/// key (prover tables are never materialized), check the proof against the
+/// instance, and extract the result.
+///
+/// One-shot wrapper over a throwaway [`VerifierSession`]: every call
+/// re-compiles the circuit and regenerates the verifying key. Clients
+/// checking a stream of responses should hold a session (and batch with
+/// [`VerifierSession::verify_batch`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a `VerifierSession` and call `verify` / `verify_batch` — it caches \
+            compiled circuits and keys"
+)]
 pub fn verify_query(
     params: &IpaParams,
     shape: &Database,
     plan: &Plan,
     response: &QueryResponse,
 ) -> Result<Table, DbError> {
-    let compiled = compile(shape, plan, None, GateSet::default()).map_err(DbError::Compile)?;
-    if compiled.asn.k != response.k {
-        return Err(DbError::Verify("circuit size mismatch".to_string()));
-    }
-    let params_k = params.truncate(response.k);
-    let pk = keygen(&params_k, &compiled.cs, &compiled.asn);
-    verify(&params_k, &pk.vk, &response.instance, &response.proof)
-        .map_err(|e| DbError::Verify(e.to_string()))?;
-
-    // Extract the result from the proven instance.
-    let lookup = |name: &str| {
-        shape
-            .table(name)
-            .map(|t| t.schema.clone())
-            .unwrap_or_default()
-    };
-    let schema = plan.schema(&lookup);
-    let mut out = Table::empty(schema);
-    let reals = &response.instance[0];
-    for r in 0..compiled.output_cap {
-        let is_real = reals.get(r).copied().unwrap_or(Fq::ZERO);
-        if is_real == Fq::ONE {
-            let row: Option<Vec<i64>> = (1..response.instance.len())
-                .map(|c| decode(&response.instance[c][r]))
-                .collect();
-            let row = row.ok_or_else(|| DbError::Verify("non-decodable output".to_string()))?;
-            out.push_row(&row);
-        } else if !is_real.is_zero() {
-            return Err(DbError::Verify("real indicator not boolean".to_string()));
-        }
-    }
-    // Sanity: the attached result must equal the proven instance content.
-    if out != response.result {
-        return Err(DbError::Verify(
-            "claimed result differs from proven instance".to_string(),
-        ));
-    }
-    Ok(out)
+    VerifierSession::new(params.clone(), shape.clone()).verify(plan, response)
 }

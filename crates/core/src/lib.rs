@@ -13,15 +13,19 @@ mod compiler;
 mod db;
 mod encode;
 pub mod extras;
+mod session;
 mod wire;
 
 pub use builder::{BitCol, Builder};
 pub use compiler::{compile, CompiledQuery, GateSet};
 pub use db::{
-    check_query, database_shape, prove_query, prover_setup, verify_query, CommitmentRegistry,
-    DatabaseCommitment, DbError, QueryResponse,
+    check_query, database_shape, prover_setup, CommitmentRegistry, DatabaseCommitment, DbError,
+    QueryResponse,
 };
+#[allow(deprecated)]
+pub use db::{prove_query, verify_query};
 pub use encode::{decode, encode, encode_fq, MAX_VALUE, VALUE_BOUND, VALUE_BYTES};
+pub use session::{ProverSession, SessionStats, VerifierSession};
 pub use wire::{
     column_type_byte, column_type_from_byte, read_schema, read_table, write_schema, write_table,
     RESPONSE_MAGIC, RESPONSE_WIRE_VERSION,
@@ -254,23 +258,56 @@ mod tests {
         };
         let params = poneglyph_pcs::IpaParams::setup(11);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+        let prover = ProverSession::new(params.clone(), db.clone());
+        let response = prover.prove(&plan, &mut rng).expect("prove");
         let expected = execute(&db, &plan).unwrap().output;
         assert_eq!(response.result, expected);
 
-        let shape = database_shape(&db);
-        let verified = verify_query(&params, &shape, &plan, &response).expect("verify");
+        let verifier = VerifierSession::new(params, database_shape(&db));
+        let verified = verifier.verify(&plan, &response).expect("verify");
         assert_eq!(verified, expected);
 
         // Tampered instance (forged result) must fail.
         let mut bad = response.clone();
         bad.instance[2][0] += poneglyph_arith::Fq::ONE;
-        assert!(verify_query(&params, &shape, &plan, &bad).is_err());
+        assert!(verifier.verify(&plan, &bad).is_err());
 
         // Tampered proof must fail.
         let mut bad = response.clone();
         bad.proof.evals[0] += poneglyph_arith::Fq::ONE;
-        assert!(verify_query(&params, &shape, &plan, &bad).is_err());
+        assert!(verifier.verify(&plan, &bad).is_err());
+
+        // Repeat verification came from the cache: one compile, one keygen.
+        let stats = verifier.stats();
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.keygens, 1);
+        assert_eq!(stats.key_cache_hits, 2);
+
+        // The prover cached its (much bigger) key too.
+        let again = prover.prove(&plan, &mut rng).expect("prove again");
+        assert_eq!(again.result, expected);
+        assert_eq!(prover.stats().keygens, 1);
+        assert_eq!(prover.stats().key_cache_hits, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_one_shot_wrappers_still_work() {
+        let db = test_db();
+        let plan = Plan::Filter {
+            input: Box::new(scan("t")),
+            predicates: vec![Predicate::ColConst {
+                col: 2,
+                op: CmpOp::Ge,
+                value: 30,
+            }],
+        };
+        let params = poneglyph_pcs::IpaParams::setup(11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+        let shape = database_shape(&db);
+        let verified = verify_query(&params, &shape, &plan, &response).expect("verify");
+        assert_eq!(verified, execute(&db, &plan).unwrap().output);
     }
 
     #[test]

@@ -118,10 +118,73 @@ impl Dsu {
     }
 }
 
-/// Generate proving and verifying keys from a circuit shape and a
-/// representative assignment (fixed columns and copy constraints must be
-/// identical at proving time).
-pub fn keygen(params: &IpaParams, cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq>) -> ProvingKey {
+/// Process-wide instrumentation counters for key generation.
+///
+/// Tests use these to assert *which* keygen path ran — e.g. that the
+/// verifier never materializes prover-only tables (no [`keygen_pk`] call)
+/// and that a session caches keys instead of regenerating them. The
+/// counters are monotonic and process-global; assert on deltas from a
+/// single-test binary, not absolute values.
+pub mod instrument {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static VK_KEYGENS: AtomicU64 = AtomicU64::new(0);
+    static PK_KEYGENS: AtomicU64 = AtomicU64::new(0);
+
+    /// Number of [`keygen_vk`](super::keygen_vk) calls so far (verifier-side
+    /// key generations that skip the prover-only tables).
+    pub fn vk_keygens() -> u64 {
+        VK_KEYGENS.load(Ordering::SeqCst)
+    }
+
+    /// Number of [`keygen_pk`](super::keygen_pk) calls so far — i.e. how
+    /// many times the prover-only tables (extended cosets, σ/fixed
+    /// polynomials) were materialized.
+    pub fn pk_keygens() -> u64 {
+        PK_KEYGENS.load(Ordering::SeqCst)
+    }
+
+    pub(super) fn count_vk() {
+        VK_KEYGENS.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(super) fn count_pk() {
+        PK_KEYGENS.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Everything both keys need: the domain, the fixed/σ polynomials in
+/// coefficient and Lagrange form, and their commitments. [`keygen_vk`]
+/// keeps only the commitments; [`keygen_pk`] additionally extends the
+/// polynomials over the coset (the prover-only tables).
+struct KeygenTables {
+    domain: EvaluationDomain<Fq>,
+    usable: usize,
+    fixed_values: Vec<Vec<Fq>>,
+    fixed_polys: Vec<Polynomial<Fq>>,
+    fixed_commitments: Vec<PallasAffine>,
+    sigma_values: Vec<Vec<Fq>>,
+    sigma_polys: Vec<Polynomial<Fq>>,
+    sigma_commitments: Vec<PallasAffine>,
+}
+
+impl KeygenTables {
+    fn into_vk(self, cs: &ConstraintSystem<Fq>) -> VerifyingKey {
+        VerifyingKey {
+            domain: self.domain,
+            cs: cs.clone(),
+            usable_rows: self.usable,
+            fixed_commitments: self.fixed_commitments,
+            sigma_commitments: self.sigma_commitments,
+        }
+    }
+}
+
+fn build_tables(
+    params: &IpaParams,
+    cs: &ConstraintSystem<Fq>,
+    asn: &Assignment<Fq>,
+) -> KeygenTables {
     assert_eq!(
         params.k, asn.k,
         "parameter capacity 2^{} must match circuit size 2^{}",
@@ -136,10 +199,6 @@ pub fn keygen(params: &IpaParams, cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq
     let fixed_polys: Vec<Polynomial<Fq>> = fixed_values
         .iter()
         .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let fixed_cosets: Vec<Vec<Fq>> = fixed_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
         .collect();
     let fixed_commitments: Vec<PallasAffine> = Pallas::batch_to_affine(
         &fixed_polys
@@ -203,16 +262,68 @@ pub fn keygen(params: &IpaParams, cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq
         .iter()
         .map(|v| domain.lagrange_to_coeff(v.clone()))
         .collect();
-    let sigma_cosets: Vec<Vec<Fq>> = sigma_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
     let sigma_commitments = Pallas::batch_to_affine(
         &sigma_polys
             .iter()
             .map(|p| params.commit(&p.coeffs, Fq::ZERO))
             .collect::<Vec<_>>(),
     );
+
+    let _ = PERMUTATION_CHUNK; // referenced by prover/verifier
+    KeygenTables {
+        domain,
+        usable,
+        fixed_values,
+        fixed_polys,
+        fixed_commitments,
+        sigma_values,
+        sigma_polys,
+        sigma_commitments,
+    }
+}
+
+/// Generate only the verifying key from a circuit shape and a
+/// representative assignment.
+///
+/// This is the verifier-side path: the fixed/σ polynomials are committed
+/// and then *dropped* — none of the prover-only tables (extended cosets,
+/// indicator cosets, retained polynomial forms) are materialized, so a
+/// verifier re-deriving keys per query pays roughly half the FFT work and
+/// a fraction of the memory of a full [`keygen_pk`].
+pub fn keygen_vk(
+    params: &IpaParams,
+    cs: &ConstraintSystem<Fq>,
+    asn: &Assignment<Fq>,
+) -> VerifyingKey {
+    instrument::count_vk();
+    build_tables(params, cs, asn).into_vk(cs)
+}
+
+/// Generate the full proving key (verifying key embedded) from a circuit
+/// shape and a representative assignment (fixed columns and copy
+/// constraints must be identical at proving time).
+pub fn keygen_pk(
+    params: &IpaParams,
+    cs: &ConstraintSystem<Fq>,
+    asn: &Assignment<Fq>,
+) -> ProvingKey {
+    instrument::count_pk();
+    let tables = build_tables(params, cs, asn);
+    let domain = &tables.domain;
+    let n = domain.n;
+    let usable = tables.usable;
+
+    // Prover-only tables: everything over the extended coset.
+    let fixed_cosets: Vec<Vec<Fq>> = tables
+        .fixed_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
+    let sigma_cosets: Vec<Vec<Fq>> = tables
+        .sigma_polys
+        .iter()
+        .map(|p| domain.coeff_to_extended(p))
+        .collect();
 
     // Protocol indicator polynomials.
     let mut l0 = vec![Fq::ZERO; n];
@@ -227,7 +338,16 @@ pub fn keygen(params: &IpaParams, cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq
     let l_last_coset = domain.coeff_to_extended(&domain.lagrange_to_coeff(l_last));
     let l_active_coset = domain.coeff_to_extended(&domain.lagrange_to_coeff(l_active));
 
-    let _ = PERMUTATION_CHUNK; // referenced by prover/verifier
+    let KeygenTables {
+        domain,
+        usable,
+        fixed_values,
+        fixed_polys,
+        fixed_commitments,
+        sigma_values,
+        sigma_polys,
+        sigma_commitments,
+    } = tables;
     ProvingKey {
         vk: VerifyingKey {
             domain,
@@ -246,6 +366,12 @@ pub fn keygen(params: &IpaParams, cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq
         l_last_coset,
         l_active_coset,
     }
+}
+
+/// Generate proving and verifying keys — an alias for [`keygen_pk`], kept
+/// for callers that predate the `keygen_vk`/`keygen_pk` split.
+pub fn keygen(params: &IpaParams, cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq>) -> ProvingKey {
+    keygen_pk(params, cs, asn)
 }
 
 #[cfg(test)]
@@ -330,5 +456,41 @@ mod tests {
     #[test]
     fn column_helper() {
         assert_eq!(Column::fixed(3).index, 3);
+    }
+
+    #[test]
+    fn keygen_vk_matches_embedded_vk() {
+        let params = IpaParams::setup(4);
+        let mut cs = ConstraintSystem::<Fq>::new();
+        let a = cs.advice_column();
+        let b = cs.advice_column();
+        cs.enable_permutation(a);
+        cs.enable_permutation(b);
+        let f = cs.fixed_column();
+        let mut asn = Assignment::new(&cs, 4);
+        asn.assign_fixed(f, 0, Fq::from_u64(7));
+        asn.copy(Cell { column: a, row: 1 }, Cell { column: b, row: 2 });
+        let vk = keygen_vk(&params, &cs, &asn);
+        let pk = keygen_pk(&params, &cs, &asn);
+        assert_eq!(vk.fixed_commitments, pk.vk.fixed_commitments);
+        assert_eq!(vk.sigma_commitments, pk.vk.sigma_commitments);
+        assert_eq!(vk.usable_rows, pk.vk.usable_rows);
+        assert_eq!(vk.domain.n, pk.vk.domain.n);
+        assert_eq!(vk.cs.digest(), pk.vk.cs.digest());
+    }
+
+    #[test]
+    fn instrument_counts_each_path() {
+        // Counters are process-global and other tests in this binary run
+        // concurrently, so assert monotonic growth, not exact deltas.
+        let params = IpaParams::setup(3);
+        let mut cs = ConstraintSystem::<Fq>::new();
+        cs.advice_column();
+        let asn = Assignment::new(&cs, 3);
+        let (vk0, pk0) = (instrument::vk_keygens(), instrument::pk_keygens());
+        let _vk = keygen_vk(&params, &cs, &asn);
+        assert!(instrument::vk_keygens() > vk0);
+        let _pk = keygen_pk(&params, &cs, &asn);
+        assert!(instrument::pk_keygens() > pk0);
     }
 }

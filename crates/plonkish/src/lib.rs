@@ -11,8 +11,12 @@
 //!
 //! The crate exposes:
 //! * [`ConstraintSystem`] / [`Assignment`] — circuit shape and contents,
-//! * [`keygen`] → [`ProvingKey`] / [`VerifyingKey`],
-//! * [`prove`] / [`verify`] — the non-interactive argument,
+//! * [`keygen_pk`] / [`keygen_vk`] → [`ProvingKey`] / [`VerifyingKey`]
+//!   (the verifier-side path never materializes prover-only tables),
+//! * [`prove`] / [`verify`] — the non-interactive argument, plus
+//!   [`verify_accumulate`] which defers the IPA opening checks into an
+//!   [`IpaAccumulator`](poneglyph_pcs::IpaAccumulator) so a batch of
+//!   proofs settles with one MSM,
 //! * [`mock_prove`] — fast constraint checking for circuit development.
 
 #![warn(missing_docs)]
@@ -31,11 +35,11 @@ pub use circuit::{
 };
 pub use eval::{compress_rows, eval_at_point, eval_rows, omega_powers, RowSource};
 pub use expression::{Column, ColumnKind, Expression, Query, Rotation};
-pub use keygen::{keygen, ProvingKey, VerifyingKey};
+pub use keygen::{instrument, keygen, keygen_pk, keygen_vk, ProvingKey, VerifyingKey};
 pub use mock::{mock_prove, MockError};
 pub use proof::{open_schedule, PolyId, Proof};
 pub use prover::{prove, ProveError};
-pub use verifier::{verify, VerifyError};
+pub use verifier::{verify, verify_accumulate, VerifyError};
 
 #[cfg(test)]
 mod tests {
@@ -317,6 +321,43 @@ mod tests {
         let bad = toy_assignment(&toy, k, 8, Some("lookup"));
         let res = prove(&params, &pk, bad, &mut rng);
         assert!(matches!(res, Err(ProveError::LookupValueMissing { .. })));
+    }
+
+    #[test]
+    fn accumulated_verification_matches_immediate() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let toy = toy_cs();
+        let k = 5;
+        let params = IpaParams::setup(k);
+
+        // Two independent proofs of the same circuit.
+        let mut proofs = Vec::new();
+        for _ in 0..2 {
+            let asn = toy_assignment(&toy, k, 8, None);
+            let pk = keygen(&params, &toy.cs, &asn);
+            let instance = vec![asn.instance[0][..1].to_vec()];
+            let proof = prove(&params, &pk, asn, &mut rng).expect("prover");
+            proofs.push((pk.vk, instance, proof));
+        }
+
+        let rho = Fq::from_u64(0x5eed_cafe);
+        let mut acc = poneglyph_pcs::IpaAccumulator::new(&params, rho);
+        for (vk, instance, proof) in &proofs {
+            verify_accumulate(&params, vk, instance, proof, &mut acc).expect("accumulate");
+        }
+        assert!(acc.finalize(&params), "valid batch settles");
+
+        // A tampered member poisons the whole batch at finalize time.
+        let mut acc = poneglyph_pcs::IpaAccumulator::new(&params, rho);
+        let (vk, instance, proof) = &proofs[0];
+        verify_accumulate(&params, vk, instance, proof, &mut acc).expect("accumulate good");
+        let (vk, instance, proof) = &proofs[1];
+        let mut bad = proof.clone();
+        bad.openings[0].a += Fq::ONE;
+        // The per-proof checks (transcript, quotient) still pass — the lie
+        // lives in the opening claim, which only finalize can catch.
+        verify_accumulate(&params, vk, instance, &bad, &mut acc).expect("accumulate bad");
+        assert!(!acc.finalize(&params), "tampered opening poisons the batch");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::proof::{claims_by_rotation, eval_of, open_schedule, PolyId, Proof};
 use poneglyph_arith::{Fq, PrimeField};
 use poneglyph_curve::Pallas;
 use poneglyph_hash::Transcript;
-use poneglyph_pcs::IpaParams;
+use poneglyph_pcs::{IpaAccumulator, IpaParams, IpaProof};
 use std::collections::BTreeMap;
 
 /// Verification failure reasons.
@@ -39,12 +39,63 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// Verify `proof` against public `instance` columns.
+/// Verify `proof` against public `instance` columns, settling every IPA
+/// opening immediately (one MSM per rotation group).
 pub fn verify(
     params: &IpaParams,
     vk: &VerifyingKey,
     instance: &[Vec<Fq>],
     proof: &Proof,
+) -> Result<(), VerifyError> {
+    verify_inner(
+        params,
+        vk,
+        instance,
+        proof,
+        &mut |params, transcript, commitment, point, eval, opening| {
+            poneglyph_pcs::verify(params, transcript, commitment, point, eval, opening)
+        },
+    )
+}
+
+/// Verify `proof` like [`verify`], but *defer* the IPA opening checks into
+/// `acc` instead of settling them one by one.
+///
+/// All transcript replay, structural checks and the quotient identity run
+/// exactly as in [`verify`]; only the final opening checks are folded into
+/// the accumulator's random linear combination. The caller settles the
+/// whole batch with a single [`IpaAccumulator::finalize`] MSM — the
+/// Halo-style amortization the paper's §3.2 relies on for cheap
+/// verification of proof streams.
+///
+/// An `Ok(())` here means nothing on its own: the batch is sound only if
+/// `finalize` returns `true`.
+pub fn verify_accumulate(
+    params: &IpaParams,
+    vk: &VerifyingKey,
+    instance: &[Vec<Fq>],
+    proof: &Proof,
+    acc: &mut IpaAccumulator,
+) -> Result<(), VerifyError> {
+    verify_inner(
+        params,
+        vk,
+        instance,
+        proof,
+        &mut |params, transcript, commitment, point, eval, opening| {
+            acc.add_claim(params, transcript, commitment, point, eval, opening)
+        },
+    )
+}
+
+/// The shared verification body; `check_opening` either settles each
+/// opening claim immediately or accumulates it.
+fn verify_inner(
+    params: &IpaParams,
+    vk: &VerifyingKey,
+    instance: &[Vec<Fq>],
+    proof: &Proof,
+    check_opening: &mut dyn FnMut(&IpaParams, &mut Transcript, &Pallas, Fq, Fq, &IpaProof) -> bool,
 ) -> Result<(), VerifyError> {
     let cs = &vk.cs;
     let domain = &vk.domain;
@@ -294,7 +345,7 @@ pub fn verify(
             combined_eval += pow * e;
             pow *= v;
         }
-        if !poneglyph_pcs::verify(
+        if !check_opening(
             params,
             &mut transcript,
             &combined,

@@ -1,22 +1,27 @@
-//! `poneglyph-serve` — run a proving service over TCP.
+//! `poneglyph-serve` — run a multi-database proving service over TCP.
 //!
 //! ```sh
 //! cargo run --release -p poneglyph-service --bin poneglyph-serve -- \
-//!     [--port 7117] [--workers 4] [--cache 64] [--k 12]
+//!     [--port 7117] [--workers 4] [--cache 64] [--k 12] [--duration SECS]
 //! ```
 //!
-//! Hosts a small built-in demo database (the quickstart's employee table)
-//! so the service is drivable out of the box; a real deployment constructs
-//! [`ProvingService`] with its own tables. Prints the database digest a
-//! client would check against the commitment registry, then serves until
+//! Hosts two small built-in demo databases (the quickstart's employee
+//! table — the default — and an orders table) so the service is drivable
+//! out of the box; a real deployment attaches its own tables. Prints each
+//! database digest a client would check against the commitment registry,
+//! then serves until shut down.
+//!
+//! Shutdown: send `quit` on stdin, or pass `--duration SECS` for a timed
+//! run; either path reports the per-database serving counters. With no
+//! usable stdin (daemon/background deployment) the server runs until
 //! killed.
 
 use poneglyph_pcs::IpaParams;
-use poneglyph_service::{ProvingService, ServiceConfig, ServiceServer};
+use poneglyph_service::{digest_hex, ProvingService, ServiceConfig, ServiceServer};
 use poneglyph_sql::{ColumnType, Database, Schema, Table};
 use std::sync::Arc;
 
-fn demo_database() -> Database {
+fn employees_database() -> Database {
     let mut db = Database::new();
     let mut employees = Table::empty(Schema::new(&[
         ("emp_id", ColumnType::Int),
@@ -34,6 +39,20 @@ fn demo_database() -> Database {
         employees.push_row(&[id, dept, salary_cents]);
     }
     db.add_table("employees", employees);
+    db
+}
+
+fn orders_database() -> Database {
+    let mut db = Database::new();
+    let mut orders = Table::empty(Schema::new(&[
+        ("order_id", ColumnType::Int),
+        ("region", ColumnType::Int),
+        ("amount", ColumnType::Decimal),
+    ]));
+    for i in 0..16i64 {
+        orders.push_row(&[i + 1, i % 4, 10_000 + 731 * i]);
+    }
+    db.add_table("orders", orders);
     db
 }
 
@@ -55,40 +74,82 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: poneglyph-serve [--port N] [--workers N] [--cache N] [--k N]");
+        eprintln!(
+            "usage: poneglyph-serve [--port N] [--workers N] [--cache N] [--k N] [--duration SECS]"
+        );
         return;
     }
     let port: u16 = parse_flag(&args, "--port", 7117);
     let workers: usize = parse_flag(&args, "--workers", 2);
     let cache: usize = parse_flag(&args, "--cache", 64);
     let k: u32 = parse_flag(&args, "--k", 12);
+    let duration: u64 = parse_flag(&args, "--duration", 0);
 
     eprintln!("deriving public parameters (k = {k}, no trusted setup)...");
     let params = IpaParams::setup(k);
-    let db = demo_database();
-    let service = Arc::new(ProvingService::new(
+    let service = Arc::new(ProvingService::empty(
         params,
-        db,
         ServiceConfig {
             workers,
             cache_capacity: cache,
             ..ServiceConfig::default()
         },
     ));
-    let digest = service.digest();
-    eprintln!("database digest: {}", hex(&digest[..16]));
-
-    let server = ServiceServer::spawn(service, ("127.0.0.1", port)).expect("bind service port");
+    let d_employees = service.attach_with_pks(employees_database(), &[("employees", "emp_id")]);
+    let d_orders = service.attach_with_pks(orders_database(), &[("orders", "order_id")]);
     eprintln!(
-        "serving on {} with {workers} prover worker(s); ctrl-c to stop",
+        "hosting 2 databases:\n  employees (default): {}\n  orders:              {}",
+        digest_hex(&d_employees[..16]),
+        digest_hex(&d_orders[..16]),
+    );
+
+    let server =
+        ServiceServer::spawn(Arc::clone(&service), ("127.0.0.1", port)).expect("bind service port");
+    eprintln!(
+        "serving protocol v2 on {} with {workers} prover worker(s); \
+         'quit' or stdin EOF (or --duration) to stop",
         server.local_addr()
     );
-    // Serve until killed.
-    loop {
-        std::thread::park();
-    }
-}
 
-fn hex(bytes: &[u8]) -> String {
-    bytes.iter().map(|b| format!("{b:02x}")).collect()
+    if duration > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(duration));
+    } else {
+        // Serve until the operator types `quit`. Immediate EOF (stdin is
+        // /dev/null or closed — daemon/background deployment) must NOT
+        // shut the server down: fall back to serving until killed, like a
+        // daemon. Only an explicit `quit` line reaches the shutdown log.
+        let mut saw_input = false;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) if saw_input => break, // console closed after use
+                Ok(0) | Err(_) => {
+                    // No console at all: park forever (killed externally).
+                    loop {
+                        std::thread::park();
+                    }
+                }
+                Ok(_) if line.trim() == "quit" => break,
+                Ok(_) => saw_input = true,
+            }
+        }
+    }
+
+    server.stop();
+    let stats = service.stats();
+    eprintln!(
+        "shutdown: {} proof(s) generated, {} cache hit(s), {} cache miss(es)",
+        stats.proofs_generated, stats.cache_hits, stats.cache_misses
+    );
+    for db in &stats.databases {
+        eprintln!(
+            "  db {}: {} proven, {} cache hit(s), {} in-flight dedup(s), {} cached proof(s)",
+            digest_hex(&db.digest[..8]),
+            db.proofs_generated,
+            db.cache_hits,
+            db.inflight_dedups,
+            db.cached_proofs
+        );
+    }
 }

@@ -67,6 +67,17 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Iterate the cached keys (no recency refresh).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
+    /// Keep only the entries whose key/value satisfy the predicate
+    /// (detaching a database purges its proofs this way).
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &V) -> bool) {
+        self.map.retain(|k, (_, v)| f(k, v));
+    }
 }
 
 #[cfg(test)]

@@ -1,17 +1,20 @@
 //! A blocking TCP client for the proving service.
 //!
 //! One [`ServiceClient`] owns one connection and may issue any number of
-//! sequential requests. The client only *transports* responses; callers
-//! establish trust by running
-//! [`verify_query`](poneglyph_core::verify_query) against the shape from
-//! [`ServiceClient::info`] (see [`ServiceClient::query_verified`]).
+//! sequential requests. The client *transports* responses and — for the
+//! `*_verified` paths — checks them against an internal per-database
+//! [`VerifierSession`], so verifying a stream of responses compiles and
+//! keys each query circuit once.
 
 use crate::protocol::{
-    read_frame, write_frame, ServerInfo, REQ_INFO, REQ_QUERY, RESP_ERR, RESP_INFO, RESP_QUERY,
+    encode_sql_request, read_frame, write_frame, ServerInfo, REQ_INFO, REQ_QUERY, REQ_QUERY_DB,
+    REQ_SQL, RESP_ERR, RESP_INFO, RESP_QUERY, RESP_SQL,
 };
-use poneglyph_core::{verify_query, QueryResponse};
+use crate::registry::digest_hex;
+use poneglyph_core::{QueryResponse, SessionStats, VerifierSession};
 use poneglyph_pcs::IpaParams;
-use poneglyph_sql::{canonical_plan, plan_to_bytes, Database, Plan, Table, WireError};
+use poneglyph_sql::{plan_from_bytes, plan_to_bytes, Plan, Table, WireError};
+use std::collections::HashMap;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -68,9 +71,13 @@ pub struct WireResponse {
 /// One blocking connection to a [`ServiceServer`](crate::ServiceServer).
 pub struct ServiceClient {
     stream: TcpStream,
-    /// Server facts + rebuilt shape, fetched once per connection: the
-    /// digest and table shapes are immutable for the service's lifetime.
-    cached_info: Option<(ServerInfo, Database)>,
+    /// Server facts, fetched lazily: digests and table shapes are
+    /// immutable for a hosted database's lifetime (counters go stale — use
+    /// [`info`](Self::info) for a fresh snapshot).
+    cached_info: Option<ServerInfo>,
+    /// One verifier session per database digest: cached compiled circuits
+    /// and verifying keys survive across queries on this connection.
+    sessions: HashMap<[u8; 64], VerifierSession>,
 }
 
 impl ServiceClient {
@@ -81,6 +88,7 @@ impl ServiceClient {
         Ok(Self {
             stream,
             cached_info: None,
+            sessions: HashMap::new(),
         })
     }
 
@@ -97,7 +105,8 @@ impl ServiceClient {
         }
     }
 
-    /// Fetch the server's public facts (digest, parameters, table shapes).
+    /// Fetch a fresh snapshot of the server's public facts (hosted
+    /// databases, shapes, per-database counters).
     pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
         let (ty, body) = self.request(REQ_INFO, &[])?;
         if ty != RESP_INFO {
@@ -105,18 +114,58 @@ impl ServiceClient {
                 "expected info response, got tag {ty:#04x}"
             )));
         }
-        Ok(ServerInfo::from_bytes(&body)?)
+        let info = ServerInfo::from_bytes(&body)?;
+        self.cached_info = Some(info.clone());
+        Ok(info)
     }
 
-    /// Ask the server to prove a plan; returns the decoded (unverified)
-    /// response.
-    pub fn query(&mut self, plan: &Plan) -> Result<WireResponse, ClientError> {
-        let (ty, body) = self.request(REQ_QUERY, &plan_to_bytes(plan))?;
-        if ty != RESP_QUERY {
-            return Err(ClientError::Protocol(format!(
-                "expected query response, got tag {ty:#04x}"
-            )));
+    /// The cached info, fetching it once if needed.
+    fn ensure_info(&mut self) -> Result<&ServerInfo, ClientError> {
+        if self.cached_info.is_none() {
+            self.info()?;
         }
+        Ok(self.cached_info.as_ref().expect("info cached above"))
+    }
+
+    /// The verifier session for one hosted database, creating it from the
+    /// server-advertised shape on first use.
+    fn session_for(
+        &mut self,
+        params: &IpaParams,
+        digest: &[u8; 64],
+    ) -> Result<&VerifierSession, ClientError> {
+        if !self.sessions.contains_key(digest) {
+            let info = self.ensure_info()?;
+            let shape = match info.database(digest) {
+                Some(db) => db.shape_database(),
+                None => {
+                    // The database may have been attached after our cached
+                    // snapshot; refresh once before giving up.
+                    let fresh = self.info()?;
+                    fresh
+                        .database(digest)
+                        .ok_or_else(|| {
+                            ClientError::Server(format!(
+                                "server does not host database {}",
+                                digest_hex(&digest[..16])
+                            ))
+                        })?
+                        .shape_database()
+                }
+            };
+            self.sessions
+                .insert(*digest, VerifierSession::new(params.clone(), shape));
+        }
+        Ok(self.sessions.get(digest).expect("session inserted above"))
+    }
+
+    /// Work counters of the internal verifier session for `digest`
+    /// (compiles / keygens / key-cache hits), if one exists yet.
+    pub fn verifier_stats(&self, digest: &[u8; 64]) -> Option<SessionStats> {
+        self.sessions.get(digest).map(|s| s.stats())
+    }
+
+    fn decode_query_response(body: Vec<u8>) -> Result<WireResponse, ClientError> {
         let (&hit, rest) = body
             .split_first()
             .ok_or_else(|| ClientError::Protocol("empty query response".into()))?;
@@ -127,33 +176,142 @@ impl ServiceClient {
         })
     }
 
-    /// The full trusting-client path: query, then verify against the
-    /// server-advertised shape. Returns the verified result table and
-    /// whether the proof came from the cache.
+    /// Ask the server to prove a plan against its *default* database
+    /// (legacy v1 request); returns the decoded (unverified) response.
+    #[deprecated(
+        since = "0.2.0",
+        note = "name the target database: use `query_on` (or `query_sql` for SQL text)"
+    )]
+    pub fn query(&mut self, plan: &Plan) -> Result<WireResponse, ClientError> {
+        let (ty, body) = self.request(REQ_QUERY, &plan_to_bytes(plan))?;
+        if ty != RESP_QUERY {
+            return Err(ClientError::Protocol(format!(
+                "expected query response, got tag {ty:#04x}"
+            )));
+        }
+        Self::decode_query_response(body)
+    }
+
+    /// Ask the server to prove a plan against the database addressed by
+    /// `digest`; returns the decoded (unverified) response.
+    pub fn query_on(
+        &mut self,
+        digest: &[u8; 64],
+        plan: &Plan,
+    ) -> Result<WireResponse, ClientError> {
+        let mut payload = Vec::with_capacity(64 + 128);
+        payload.extend_from_slice(digest);
+        payload.extend_from_slice(&plan_to_bytes(plan));
+        let (ty, body) = self.request(REQ_QUERY_DB, &payload)?;
+        if ty != RESP_QUERY {
+            return Err(ClientError::Protocol(format!(
+                "expected query response, got tag {ty:#04x}"
+            )));
+        }
+        Self::decode_query_response(body)
+    }
+
+    /// Send SQL text to be planned and proven server-side against the
+    /// database addressed by `digest`. Returns the canonical plan the
+    /// server proved (inspect it — it *is* the proven statement) and the
+    /// decoded (unverified) response.
+    pub fn query_sql(
+        &mut self,
+        digest: &[u8; 64],
+        sql: &str,
+    ) -> Result<(Plan, WireResponse), ClientError> {
+        let (ty, body) = self.request(REQ_SQL, &encode_sql_request(digest, sql))?;
+        if ty != RESP_SQL {
+            return Err(ClientError::Protocol(format!(
+                "expected SQL response, got tag {ty:#04x}"
+            )));
+        }
+        let (&hit, rest) = body
+            .split_first()
+            .ok_or_else(|| ClientError::Protocol("empty SQL response".into()))?;
+        if rest.len() < 4 {
+            return Err(ClientError::Protocol("truncated SQL response".into()));
+        }
+        let plan_len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        let rest = &rest[4..];
+        if rest.len() < plan_len {
+            return Err(ClientError::Protocol("truncated plan echo".into()));
+        }
+        let plan = plan_from_bytes(&rest[..plan_len])?;
+        let response = QueryResponse::from_bytes(&rest[plan_len..])?;
+        Ok((
+            plan,
+            WireResponse {
+                response,
+                cache_hit: hit != 0,
+            },
+        ))
+    }
+
+    /// Query the database addressed by `digest` and verify the response
+    /// with this connection's cached verifier session. Returns the
+    /// verified result table and whether the proof came from the server's
+    /// cache.
     ///
     /// `params` must be (a prefix-compatible copy of) the server's public
     /// parameters — they are publicly derivable, so clients run
     /// [`IpaParams::setup`] themselves rather than trusting served bytes.
+    pub fn query_verified_on(
+        &mut self,
+        params: &IpaParams,
+        digest: &[u8; 64],
+        plan: &Plan,
+    ) -> Result<(Table, bool), ClientError> {
+        let wire = self.query_on(digest, plan)?;
+        let session = self.session_for(params, digest)?;
+        let table = session
+            .verify(plan, &wire.response)
+            .map_err(|e| ClientError::Verify(e.to_string()))?;
+        Ok((table, wire.cache_hit))
+    }
+
+    /// Send SQL text, then verify the response against the plan the server
+    /// echoed. Returns the verified result table, the canonical plan that
+    /// was proven, and whether the proof came from the server's cache.
     ///
-    /// Verification runs against [`canonical_plan`]`(plan)` because that
-    /// is the form the server proves (it is also the form shipped on the
-    /// wire); the result is semantically identical to the submitted plan's.
-    /// The server's info (and the shape database rebuilt from it) is
-    /// fetched once and reused for the life of the connection.
+    /// Trust model: the proof binds the result to the *echoed plan* over
+    /// the committed database shape. The client should inspect (or
+    /// re-derive) that plan — the server could plan the SQL differently
+    /// than the client meant, but it cannot fake the plan↔result binding.
+    pub fn query_verified_sql(
+        &mut self,
+        params: &IpaParams,
+        digest: &[u8; 64],
+        sql: &str,
+    ) -> Result<(Table, Plan, bool), ClientError> {
+        let (plan, wire) = self.query_sql(digest, sql)?;
+        let session = self.session_for(params, digest)?;
+        let table = session
+            .verify(&plan, &wire.response)
+            .map_err(|e| ClientError::Verify(e.to_string()))?;
+        Ok((table, plan, wire.cache_hit))
+    }
+
+    /// The legacy v1 trusting-client path: query the server's *current*
+    /// default database, then verify against its advertised shape.
+    ///
+    /// The default digest is re-resolved and then **pinned** per call (the
+    /// request goes out digest-addressed): with a mutable registry, a bare
+    /// default-database request could otherwise be proven against a
+    /// different committed state than the one verified against.
+    #[deprecated(
+        since = "0.2.0",
+        note = "name the target database: use `query_verified_on` / `query_verified_sql`"
+    )]
     pub fn query_verified(
         &mut self,
         params: &IpaParams,
         plan: &Plan,
     ) -> Result<(Table, bool), ClientError> {
-        if self.cached_info.is_none() {
-            let info = self.info()?;
-            let shape = info.shape_database();
-            self.cached_info = Some((info, shape));
-        }
-        let wire = self.query(plan)?;
-        let (_, shape) = self.cached_info.as_ref().expect("info cached above");
-        let table = verify_query(params, shape, &canonical_plan(plan), &wire.response)
-            .map_err(|e| ClientError::Verify(e.to_string()))?;
-        Ok((table, wire.cache_hit))
+        let default = self
+            .info()? // fresh: the default can move as databases attach/detach
+            .default_digest
+            .ok_or_else(|| ClientError::Server("server hosts no default database".into()))?;
+        self.query_verified_on(params, &default, plan)
     }
 }

@@ -1,39 +1,45 @@
 //! # poneglyph-service
 //!
-//! The serving layer that turns the one-shot
-//! [`prove_query`](poneglyph_core::prove_query) /
-//! [`verify_query`](poneglyph_core::verify_query) API into the paper's
-//! deployment model (Figure 2): a long-lived prover hosting a committed
-//! private database and answering a *stream* of client queries with
-//! non-interactive zero-knowledge proofs.
+//! The serving layer that turns the session-oriented
+//! [`ProverSession`](poneglyph_core::ProverSession) /
+//! [`VerifierSession`](poneglyph_core::VerifierSession) API into the
+//! paper's deployment model (Figure 2): a long-lived prover hosting a
+//! *registry* of committed private databases and answering a stream of
+//! client queries — planned or raw SQL — with non-interactive
+//! zero-knowledge proofs.
 //!
 //! Three layers, separable and individually testable:
 //!
-//! * [`ProvingService`] — the engine: a bounded job queue feeding a pool of
-//!   prover threads, an LRU proof cache keyed by `(database digest, plan
-//!   fingerprint)`, and in-flight deduplication so identical concurrent
-//!   queries cost one proof.
-//! * [`protocol`] — the versioned frame protocol and payload codecs shared
-//!   by server and client.
-//! * [`ServiceServer`] / [`ServiceClient`] — a `std::net` TCP front end and
-//!   its matching blocking client (no external dependencies).
+//! * [`ProvingService`] — the engine: a digest-addressed
+//!   [`DatabaseRegistry`] (attach/detach at runtime), a bounded job queue
+//!   feeding a pool of prover threads, an LRU proof cache keyed by
+//!   `(database digest, plan fingerprint)` with per-database accounting,
+//!   and in-flight deduplication so identical concurrent queries cost one
+//!   proof.
+//! * [`protocol`] — the versioned frame protocol (v2: digest-addressed
+//!   queries, SQL-over-the-wire) and payload codecs shared by server and
+//!   client.
+//! * [`ServiceServer`] / [`ServiceClient`] — a `std::net` TCP front end
+//!   and its matching blocking client (no external dependencies); the
+//!   client verifies through cached per-database verifier sessions.
 //!
 //! The `poneglyph-serve` binary wraps all three into a runnable daemon.
 //!
 //! ```no_run
 //! use poneglyph_service::{ProvingService, ServiceConfig, ServiceServer, ServiceClient};
 //! use poneglyph_pcs::IpaParams;
-//! use poneglyph_sql::{Database, Plan};
+//! use poneglyph_sql::Database;
 //! use std::sync::Arc;
 //!
 //! let params = IpaParams::setup(11);
-//! let db = Database::new(); // the prover's private tables
-//! let service = Arc::new(ProvingService::new(params.clone(), db, ServiceConfig::default()));
+//! let service = Arc::new(ProvingService::empty(params.clone(), ServiceConfig::default()));
+//! let digest = service.attach(Database::new()); // the prover's private tables
 //! let server = ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
 //!
 //! let mut client = ServiceClient::connect(server.local_addr()).unwrap();
-//! let plan = Plan::Scan { table: "t".into() };
-//! let (result, cache_hit) = client.query_verified(&params, &plan).unwrap();
+//! let (result, plan, cache_hit) = client
+//!     .query_verified_sql(&params, &digest, "SELECT id FROM t WHERE val >= 20")
+//!     .unwrap();
 //! ```
 
 #![warn(missing_docs)]
@@ -41,13 +47,16 @@
 mod cache;
 mod client;
 pub mod protocol;
+mod registry;
 mod server;
 mod service;
 
 pub use cache::LruCache;
 pub use client::{ClientError, ServiceClient, WireResponse};
-pub use protocol::{ServerInfo, PROTOCOL_VERSION};
-pub use server::ServiceServer;
+pub use protocol::{DatabaseInfo, ServerInfo, PROTOCOL_VERSION};
+pub use registry::{digest_hex, DatabaseRegistry};
+pub use server::{server_info, ServiceServer};
 pub use service::{
-    CacheKey, JobHandle, ProvingService, Served, ServiceConfig, ServiceError, ServiceStats,
+    CacheKey, DatabaseSnapshot, DatabaseStats, JobHandle, ProvingService, Served, ServiceConfig,
+    ServiceError, ServiceStats,
 };

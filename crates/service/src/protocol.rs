@@ -1,4 +1,4 @@
-//! The TCP wire protocol: framing and message payloads.
+//! The TCP wire protocol (v2): framing and message payloads.
 //!
 //! Every message is one frame:
 //!
@@ -10,13 +10,24 @@
 //!
 //! Requests:
 //! * [`REQ_INFO`] — empty payload; asks for the server's public facts.
-//! * [`REQ_QUERY`] — payload is a canonical plan
-//!   ([`plan_to_bytes`](poneglyph_sql::plan_to_bytes)).
+//! * [`REQ_QUERY`] — *legacy v1 path*: payload is a canonical plan
+//!   ([`plan_to_bytes`](poneglyph_sql::plan_to_bytes)) served against the
+//!   server's **default** database.
+//! * [`REQ_QUERY_DB`] — 64-byte database digest, then a canonical plan:
+//!   names exactly which committed database state the proof must be
+//!   against.
+//! * [`REQ_SQL`] — 64-byte database digest, then a u32-length-prefixed
+//!   UTF-8 SQL string. The *server* parses and plans the text (fixing the
+//!   string-dictionary out-of-band problem: literals intern server-side).
 //!
 //! Responses:
-//! * [`RESP_INFO`] — a [`ServerInfo`].
+//! * [`RESP_INFO`] — a [`ServerInfo`] (all hosted databases + counters).
 //! * [`RESP_QUERY`] — one cache-hit byte, then a serialized
-//!   [`QueryResponse`](poneglyph_core::QueryResponse).
+//!   [`QueryResponse`](poneglyph_core::QueryResponse). Answers both query
+//!   request forms.
+//! * [`RESP_SQL`] — one cache-hit byte, a u32-length-prefixed canonical
+//!   plan, then a serialized response. The echoed plan is what the server
+//!   proved; the client verifies against exactly it.
 //! * [`RESP_ERR`] — a UTF-8 error message.
 //!
 //! Frames are bounded by [`MAX_FRAME`]; a peer announcing a larger payload
@@ -27,19 +38,30 @@ use poneglyph_sql::{write_string, ByteReader, Database, Schema, Table, WireError
 use std::io::{self, Read, Write};
 
 /// Protocol version, carried in [`ServerInfo`].
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on a frame payload (64 MiB).
 pub const MAX_FRAME: usize = 64 << 20;
 
 /// Client request: server info.
 pub const REQ_INFO: u8 = 0x01;
-/// Client request: prove a query (payload = canonical plan bytes).
+/// Client request, legacy v1 path: prove a plan against the default
+/// database (payload = canonical plan bytes).
 pub const REQ_QUERY: u8 = 0x02;
+/// Client request: prove a plan against a named database
+/// (payload = 64-byte digest + canonical plan bytes).
+pub const REQ_QUERY_DB: u8 = 0x03;
+/// Client request: plan and prove SQL text against a named database
+/// (payload = 64-byte digest + u32 length + UTF-8 SQL).
+pub const REQ_SQL: u8 = 0x04;
 /// Server response to [`REQ_INFO`].
 pub const RESP_INFO: u8 = 0x81;
-/// Server response to [`REQ_QUERY`] (cache-hit byte + response bytes).
+/// Server response to [`REQ_QUERY`] / [`REQ_QUERY_DB`]
+/// (cache-hit byte + response bytes).
 pub const RESP_QUERY: u8 = 0x82;
+/// Server response to [`REQ_SQL`]
+/// (cache-hit byte + u32 plan length + plan bytes + response bytes).
+pub const RESP_SQL: u8 = 0x84;
 /// Server response: request failed (UTF-8 message payload).
 pub const RESP_ERR: u8 = 0xFF;
 
@@ -72,103 +94,41 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
     Ok(Some((head[0], payload)))
 }
 
-/// The server's public facts: everything a verifier needs that is not the
-/// query itself.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ServerInfo {
-    /// Protocol version the server speaks.
-    pub protocol: u16,
-    /// The committed database's registry digest.
-    pub digest: [u8; 64],
-    /// log2 of the largest circuit the server's parameters support.
-    pub max_k: u32,
-    /// Public table shapes: `(name, schema, row count)`.
-    pub tables: Vec<(String, Schema, u64)>,
-}
-
 /// Upper bound on an advertised per-table row count. The verifier
 /// materializes a zeroed table of this many rows in
-/// [`ServerInfo::shape_database`], so an unbounded count would let a
+/// [`DatabaseInfo::shape_database`], so an unbounded count would let a
 /// malicious server drive the client out of memory before any proof is
 /// checked.
 pub const MAX_ADVERTISED_ROWS: u64 = 1 << 24;
 
-/// Upper bound on the advertised database's *total* cell count
-/// (`Σ rows × width` over all tables, ≤ 512 MiB of zeroed `i64`s). The
-/// per-table cap alone would still let a server advertise thousands of
-/// maximal tables; this bounds the whole [`ServerInfo::shape_database`]
-/// allocation.
+/// Upper bound on the advertised *total* cell count across every hosted
+/// database (`Σ rows × width` over all tables, ≤ 512 MiB of zeroed
+/// `i64`s). The per-table cap alone would still let a server advertise
+/// thousands of maximal tables; this bounds the whole info allocation.
 pub const MAX_ADVERTISED_CELLS: u64 = 1 << 26;
 
-impl ServerInfo {
-    /// Serialize.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(&self.protocol.to_le_bytes());
-        out.extend_from_slice(&self.digest);
-        out.extend_from_slice(&self.max_k.to_le_bytes());
-        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
-        for (name, schema, rows) in &self.tables {
-            write_string(&mut out, name);
-            write_schema(&mut out, schema);
-            out.extend_from_slice(&rows.to_le_bytes());
-        }
-        out
-    }
+/// Upper bound on the number of advertised databases.
+pub const MAX_ADVERTISED_DATABASES: usize = 1 << 12;
 
-    /// Deserialize; clean errors on malformed input.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
-        let mut r = ByteReader::new(bytes);
-        let protocol = r.u16()?;
-        if protocol != PROTOCOL_VERSION {
-            return Err(WireError::BadVersion(protocol));
-        }
-        let digest: [u8; 64] = r.take(64)?.try_into().unwrap();
-        let max_k = r.u32()?;
-        let ntables = r.read_len()?;
-        let mut tables = Vec::with_capacity(ntables);
-        let mut total_cells: u64 = 0;
-        for _ in 0..ntables {
-            let name = r.string()?;
-            let schema = read_schema(&mut r)?;
-            let rows = r.u64()?;
-            if rows > MAX_ADVERTISED_ROWS {
-                return Err(WireError::LengthOverflow(rows as usize));
-            }
-            total_cells = total_cells.saturating_add(rows.saturating_mul(schema.width() as u64));
-            if total_cells > MAX_ADVERTISED_CELLS {
-                return Err(WireError::LengthOverflow(total_cells as usize));
-            }
-            tables.push((name, schema, rows));
-        }
-        r.finish()?;
-        Ok(Self {
-            protocol,
-            digest,
-            max_k,
-            tables,
-        })
-    }
+/// One hosted database as advertised by [`REQ_INFO`]: its commitment
+/// digest, public table shapes, and serving counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatabaseInfo {
+    /// The committed database's registry digest.
+    pub digest: [u8; 64],
+    /// Public table shapes: `(name, schema, row count)`.
+    pub tables: Vec<(String, Schema, u64)>,
+    /// Proofs generated for this database so far.
+    pub proofs_generated: u64,
+    /// Queries served from the proof cache.
+    pub cache_hits: u64,
+    /// Queries deduplicated against an identical in-flight proof.
+    pub inflight_dedups: u64,
+}
 
-    /// Describe a database's public shape.
-    pub fn describe(digest: [u8; 64], max_k: u32, shape: &Database) -> Self {
-        let mut tables: Vec<(String, Schema, u64)> = shape
-            .tables
-            .iter()
-            .map(|(name, t)| (name.clone(), t.schema.clone(), t.len() as u64))
-            .collect();
-        tables.sort_by(|a, b| a.0.cmp(&b.0));
-        Self {
-            protocol: PROTOCOL_VERSION,
-            digest,
-            max_k,
-            tables,
-        }
-    }
-
-    /// Rebuild the shape database a verifier feeds to
-    /// [`verify_query`](poneglyph_core::verify_query): correct schemas and
-    /// row counts, zeroed values.
+impl DatabaseInfo {
+    /// Rebuild the shape database a verifier session is constructed over:
+    /// correct schemas and row counts, zeroed values.
     pub fn shape_database(&self) -> Database {
         let mut db = Database::new();
         for (name, schema, rows) in &self.tables {
@@ -181,6 +141,145 @@ impl ServerInfo {
         }
         db
     }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.digest);
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for (name, schema, rows) in &self.tables {
+            write_string(out, name);
+            write_schema(out, schema);
+            out.extend_from_slice(&rows.to_le_bytes());
+        }
+        out.extend_from_slice(&self.proofs_generated.to_le_bytes());
+        out.extend_from_slice(&self.cache_hits.to_le_bytes());
+        out.extend_from_slice(&self.inflight_dedups.to_le_bytes());
+    }
+
+    fn read(r: &mut ByteReader<'_>, total_cells: &mut u64) -> Result<Self, WireError> {
+        let digest: [u8; 64] = r.take(64)?.try_into().unwrap();
+        let ntables = r.read_len()?;
+        let mut tables = Vec::with_capacity(ntables);
+        for _ in 0..ntables {
+            let name = r.string()?;
+            let schema = read_schema(r)?;
+            let rows = r.u64()?;
+            if rows > MAX_ADVERTISED_ROWS {
+                return Err(WireError::LengthOverflow(rows as usize));
+            }
+            *total_cells = total_cells.saturating_add(rows.saturating_mul(schema.width() as u64));
+            if *total_cells > MAX_ADVERTISED_CELLS {
+                return Err(WireError::LengthOverflow(*total_cells as usize));
+            }
+            tables.push((name, schema, rows));
+        }
+        let proofs_generated = r.u64()?;
+        let cache_hits = r.u64()?;
+        let inflight_dedups = r.u64()?;
+        Ok(Self {
+            digest,
+            tables,
+            proofs_generated,
+            cache_hits,
+            inflight_dedups,
+        })
+    }
+}
+
+/// The server's public facts: everything a verifier needs that is not the
+/// query itself, for every hosted database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Protocol version the server speaks.
+    pub protocol: u16,
+    /// log2 of the largest circuit the server's parameters support.
+    pub max_k: u32,
+    /// Digest of the default database (the legacy [`REQ_QUERY`] target),
+    /// when one is attached.
+    pub default_digest: Option<[u8; 64]>,
+    /// Every hosted database, in digest order.
+    pub databases: Vec<DatabaseInfo>,
+}
+
+impl ServerInfo {
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.protocol.to_le_bytes());
+        out.extend_from_slice(&self.max_k.to_le_bytes());
+        match &self.default_digest {
+            Some(d) => {
+                out.push(1);
+                out.extend_from_slice(d);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(self.databases.len() as u32).to_le_bytes());
+        for db in &self.databases {
+            db.write(&mut out);
+        }
+        out
+    }
+
+    /// Deserialize; clean errors on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let protocol = r.u16()?;
+        if protocol != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(protocol));
+        }
+        let max_k = r.u32()?;
+        let default_digest = match r.u8()? {
+            0 => None,
+            1 => Some(r.take(64)?.try_into().unwrap()),
+            other => return Err(WireError::BadTag(other)),
+        };
+        let ndbs = r.read_len()?;
+        if ndbs > MAX_ADVERTISED_DATABASES {
+            return Err(WireError::LengthOverflow(ndbs));
+        }
+        let mut databases = Vec::with_capacity(ndbs);
+        let mut total_cells: u64 = 0;
+        for _ in 0..ndbs {
+            databases.push(DatabaseInfo::read(&mut r, &mut total_cells)?);
+        }
+        r.finish()?;
+        Ok(Self {
+            protocol,
+            max_k,
+            default_digest,
+            databases,
+        })
+    }
+
+    /// Find a hosted database by digest.
+    pub fn database(&self, digest: &[u8; 64]) -> Option<&DatabaseInfo> {
+        self.databases.iter().find(|d| &d.digest == digest)
+    }
+}
+
+/// Split a `digest + rest` payload ([`REQ_QUERY_DB`] / [`REQ_SQL`]).
+pub fn split_digest(payload: &[u8]) -> Result<([u8; 64], &[u8]), WireError> {
+    if payload.len() < 64 {
+        return Err(WireError::Truncated);
+    }
+    let digest: [u8; 64] = payload[..64].try_into().unwrap();
+    Ok((digest, &payload[64..]))
+}
+
+/// Encode a [`REQ_SQL`] payload.
+pub fn encode_sql_request(digest: &[u8; 64], sql: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 4 + sql.len());
+    out.extend_from_slice(digest);
+    write_string(&mut out, sql);
+    out
+}
+
+/// Decode the SQL text of a [`REQ_SQL`] payload (after [`split_digest`]).
+pub fn decode_sql_text(rest: &[u8]) -> Result<String, WireError> {
+    let mut r = ByteReader::new(rest);
+    let sql = r.string()?;
+    r.finish()?;
+    Ok(sql)
 }
 
 #[cfg(test)]
@@ -216,28 +315,64 @@ mod tests {
         assert!(read_frame(&mut r).is_err());
     }
 
+    fn demo_info() -> ServerInfo {
+        ServerInfo {
+            protocol: PROTOCOL_VERSION,
+            max_k: 12,
+            default_digest: Some([7u8; 64]),
+            databases: vec![
+                DatabaseInfo {
+                    digest: [7u8; 64],
+                    tables: vec![(
+                        "t".into(),
+                        Schema::new(&[("id", ColumnType::Int), ("val", ColumnType::Decimal)]),
+                        42,
+                    )],
+                    proofs_generated: 3,
+                    cache_hits: 9,
+                    inflight_dedups: 1,
+                },
+                DatabaseInfo {
+                    digest: [9u8; 64],
+                    tables: vec![("u".into(), Schema::new(&[("x", ColumnType::Int)]), 5)],
+                    proofs_generated: 0,
+                    cache_hits: 0,
+                    inflight_dedups: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn server_info_roundtrip() {
+        let info = demo_info();
+        let back = ServerInfo::from_bytes(&info.to_bytes()).expect("decode");
+        assert_eq!(back, info);
+        let shape = back.databases[0].shape_database();
+        assert_eq!(shape.table("t").unwrap().len(), 42);
+        assert_eq!(back.database(&[9u8; 64]).unwrap().tables[0].2, 5);
+        assert!(back.database(&[1u8; 64]).is_none());
+    }
+
     #[test]
     fn absurd_row_count_rejected() {
-        let mut info = ServerInfo {
-            protocol: PROTOCOL_VERSION,
-            digest: [0u8; 64],
-            max_k: 12,
-            tables: vec![("t".into(), Schema::new(&[("id", ColumnType::Int)]), 1)],
-        };
-        info.tables[0].2 = u64::MAX;
-        let bytes = info.to_bytes();
+        let mut info = demo_info();
+        info.databases[0].tables[0].2 = u64::MAX;
         assert!(matches!(
-            ServerInfo::from_bytes(&bytes),
+            ServerInfo::from_bytes(&info.to_bytes()),
             Err(WireError::LengthOverflow(_))
         ));
 
-        // Many individually-legal tables still trip the aggregate budget.
-        info.tables[0].2 = MAX_ADVERTISED_ROWS;
-        let one = info.tables[0].clone();
+        // Many individually-legal tables still trip the aggregate budget —
+        // even when spread across databases.
+        let mut info = demo_info();
+        info.databases[0].tables[0].2 = MAX_ADVERTISED_ROWS;
+        let one = info.databases[0].clone();
         for i in 0..8 {
-            let mut t = one.clone();
-            t.0 = format!("t{i}");
-            info.tables.push(t);
+            let mut db = one.clone();
+            db.digest[0] = i as u8;
+            db.tables[0].0 = format!("t{i}");
+            info.databases.push(db);
         }
         assert!(matches!(
             ServerInfo::from_bytes(&info.to_bytes()),
@@ -246,20 +381,24 @@ mod tests {
     }
 
     #[test]
-    fn server_info_roundtrip() {
-        let info = ServerInfo {
-            protocol: PROTOCOL_VERSION,
-            digest: [7u8; 64],
-            max_k: 12,
-            tables: vec![(
-                "t".into(),
-                Schema::new(&[("id", ColumnType::Int), ("val", ColumnType::Decimal)]),
-                42,
-            )],
-        };
-        let back = ServerInfo::from_bytes(&info.to_bytes()).expect("decode");
-        assert_eq!(back, info);
-        let shape = back.shape_database();
-        assert_eq!(shape.table("t").unwrap().len(), 42);
+    fn v1_info_bytes_rejected() {
+        let mut bytes = demo_info().to_bytes();
+        bytes[0] = 1; // claim protocol v1
+        assert!(matches!(
+            ServerInfo::from_bytes(&bytes),
+            Err(WireError::BadVersion(1))
+        ));
+    }
+
+    #[test]
+    fn sql_request_roundtrip() {
+        let digest = [3u8; 64];
+        let payload = encode_sql_request(&digest, "SELECT x FROM u");
+        let (d, rest) = split_digest(&payload).expect("split");
+        assert_eq!(d, digest);
+        assert_eq!(decode_sql_text(rest).expect("sql"), "SELECT x FROM u");
+
+        assert!(split_digest(&payload[..63]).is_err());
+        assert!(decode_sql_text(&payload[64..payload.len() - 1]).is_err());
     }
 }

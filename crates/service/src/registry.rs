@@ -1,0 +1,111 @@
+//! The digest-addressed database registry: which committed databases a
+//! proving service currently hosts.
+//!
+//! A real deployment hosts many databases (one per tenant / snapshot), each
+//! addressed by its commitment digest — the same 64-byte value published to
+//! the immutable commitment registry of §3.3, so a client can name exactly
+//! the database state it wants proofs against. Attach/detach are dynamic;
+//! the first attached database becomes the *default* for the legacy
+//! single-database API.
+
+use poneglyph_core::ProverSession;
+use poneglyph_sql::{Catalog, Database};
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// One hosted database: the prover session (private data + cached proving
+/// keys), the public shape, the SQL catalog, and per-database counters.
+pub(crate) struct DbEntry {
+    /// The commitment digest addressing this database.
+    pub digest: [u8; 64],
+    /// The prover session (owns the private data and cached keys).
+    pub session: ProverSession,
+    /// The public shape (schemas + row counts, zeroed values).
+    pub shape: Database,
+    /// Catalog for server-side SQL planning.
+    pub catalog: Catalog,
+    /// Proofs generated for this database.
+    pub proofs_generated: AtomicU64,
+    /// Queries served from the proof cache.
+    pub cache_hits: AtomicU64,
+    /// Queries that waited for an identical in-flight proof.
+    pub inflight_dedups: AtomicU64,
+}
+
+/// A digest-addressed set of hosted databases.
+///
+/// Keys are commitment digests (BTreeMap: deterministic iteration order
+/// for `REQ_INFO` listings). One entry may be marked as the default — the
+/// target of the legacy single-database request path.
+#[derive(Default)]
+pub struct DatabaseRegistry {
+    entries: BTreeMap<[u8; 64], Arc<DbEntry>>,
+    default_digest: Option<[u8; 64]>,
+}
+
+impl DatabaseRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of hosted databases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no database is attached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Digests of every hosted database, in digest order.
+    pub fn digests(&self) -> Vec<[u8; 64]> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The default database's digest (the first attached, unless the
+    /// default was detached).
+    pub fn default_digest(&self) -> Option<[u8; 64]> {
+        self.default_digest
+    }
+
+    pub(crate) fn insert(&mut self, entry: Arc<DbEntry>) -> [u8; 64] {
+        let digest = entry.digest;
+        // Last attach wins: re-attaching the same committed state swaps in
+        // the fresh entry (new catalog/PK metadata), never silently keeps
+        // the old one.
+        self.entries.insert(digest, entry);
+        if self.default_digest.is_none() {
+            self.default_digest = Some(digest);
+        }
+        digest
+    }
+
+    pub(crate) fn remove(&mut self, digest: &[u8; 64]) -> Option<Arc<DbEntry>> {
+        let removed = self.entries.remove(digest)?;
+        if self.default_digest == Some(*digest) {
+            // Fall back to the (digest-order) first remaining database.
+            self.default_digest = self.entries.keys().next().copied();
+        }
+        Some(removed)
+    }
+
+    pub(crate) fn get(&self, digest: &[u8; 64]) -> Option<Arc<DbEntry>> {
+        self.entries.get(digest).cloned()
+    }
+
+    pub(crate) fn default_entry(&self) -> Option<Arc<DbEntry>> {
+        self.default_digest.and_then(|d| self.get(&d))
+    }
+
+    pub(crate) fn entries(&self) -> impl Iterator<Item = &Arc<DbEntry>> {
+        self.entries.values()
+    }
+}
+
+/// Render a digest prefix as hex (error messages, logs).
+pub fn digest_hex(digest: &[u8]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}

@@ -2,10 +2,11 @@
 //! behalf of a [`ProvingService`].
 
 use crate::protocol::{
-    read_frame, write_frame, ServerInfo, REQ_INFO, REQ_QUERY, RESP_ERR, RESP_INFO, RESP_QUERY,
+    decode_sql_text, read_frame, split_digest, write_frame, DatabaseInfo, ServerInfo, REQ_INFO,
+    REQ_QUERY, REQ_QUERY_DB, REQ_SQL, RESP_ERR, RESP_INFO, RESP_QUERY, RESP_SQL,
 };
-use crate::service::ProvingService;
-use poneglyph_sql::plan_from_bytes;
+use crate::service::{ProvingService, Served, ServiceError};
+use poneglyph_sql::{plan_from_bytes, plan_to_bytes};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -82,25 +83,89 @@ impl Drop for ServiceServer {
     }
 }
 
+/// Build the v2 info advertisement from the service's live state.
+///
+/// Uses one consistent registry snapshot (metadata only, no row-data
+/// clones), so the advertised default digest always names an advertised
+/// database.
+pub fn server_info(service: &ProvingService) -> ServerInfo {
+    let (default_digest, snapshots) = service.info_snapshot();
+    let databases = snapshots
+        .into_iter()
+        .map(|snap| DatabaseInfo {
+            digest: snap.stats.digest,
+            tables: snap.tables,
+            proofs_generated: snap.stats.proofs_generated,
+            cache_hits: snap.stats.cache_hits,
+            inflight_dedups: snap.stats.inflight_dedups,
+        })
+        .collect();
+    ServerInfo {
+        protocol: crate::protocol::PROTOCOL_VERSION,
+        max_k: service.params().k,
+        default_digest,
+        databases,
+    }
+}
+
+fn write_served(stream: &mut TcpStream, served: &Served) -> io::Result<()> {
+    let mut out = vec![u8::from(served.cache_hit)];
+    out.extend_from_slice(&served.response.to_bytes());
+    write_frame(stream, RESP_QUERY, &out)
+}
+
+fn write_error(stream: &mut TcpStream, e: &ServiceError) -> io::Result<()> {
+    write_frame(stream, RESP_ERR, e.to_string().as_bytes())
+}
+
 fn handle_connection(service: &ProvingService, mut stream: TcpStream) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     while let Some((msg_type, payload)) = read_frame(&mut stream)? {
         match msg_type {
             REQ_INFO => {
-                let info =
-                    ServerInfo::describe(service.digest(), service.params().k, service.shape());
+                let info = server_info(service);
                 write_frame(&mut stream, RESP_INFO, &info.to_bytes())?;
             }
+            // Legacy v1 path: a bare plan against the default database.
             REQ_QUERY => match plan_from_bytes(&payload) {
                 Ok(plan) => match service.query(plan) {
-                    Ok(served) => {
-                        let mut out = vec![u8::from(served.cache_hit)];
-                        out.extend_from_slice(&served.response.to_bytes());
-                        write_frame(&mut stream, RESP_QUERY, &out)?;
-                    }
-                    Err(e) => write_frame(&mut stream, RESP_ERR, e.to_string().as_bytes())?,
+                    Ok(served) => write_served(&mut stream, &served)?,
+                    Err(e) => write_error(&mut stream, &e)?,
                 },
                 Err(e) => write_frame(&mut stream, RESP_ERR, format!("bad plan: {e}").as_bytes())?,
+            },
+            REQ_QUERY_DB => match split_digest(&payload)
+                .and_then(|(digest, rest)| Ok((digest, plan_from_bytes(rest)?)))
+            {
+                Ok((digest, plan)) => match service.query_on(&digest, plan) {
+                    Ok(served) => write_served(&mut stream, &served)?,
+                    Err(e) => write_error(&mut stream, &e)?,
+                },
+                Err(e) => write_frame(
+                    &mut stream,
+                    RESP_ERR,
+                    format!("bad request: {e}").as_bytes(),
+                )?,
+            },
+            REQ_SQL => match split_digest(&payload)
+                .and_then(|(digest, rest)| Ok((digest, decode_sql_text(rest)?)))
+            {
+                Ok((digest, sql)) => match service.query_sql(&digest, &sql) {
+                    Ok((plan, served)) => {
+                        let plan_bytes = plan_to_bytes(&plan);
+                        let mut out = vec![u8::from(served.cache_hit)];
+                        out.extend_from_slice(&(plan_bytes.len() as u32).to_le_bytes());
+                        out.extend_from_slice(&plan_bytes);
+                        out.extend_from_slice(&served.response.to_bytes());
+                        write_frame(&mut stream, RESP_SQL, &out)?;
+                    }
+                    Err(e) => write_error(&mut stream, &e)?,
+                },
+                Err(e) => write_frame(
+                    &mut stream,
+                    RESP_ERR,
+                    format!("bad request: {e}").as_bytes(),
+                )?,
             },
             other => {
                 write_frame(

@@ -1,22 +1,30 @@
-//! The proving service: a long-lived prover answering a stream of queries.
+//! The proving service: a long-lived prover answering a stream of queries
+//! against any number of committed databases.
 //!
 //! This is the paper's Figure 2 deployment model as a running system: the
-//! service owns the committed private [`Database`] and the public
-//! [`IpaParams`], accepts planned queries through a *bounded* job queue,
-//! proves them on a pool of worker threads, and serves repeated queries
-//! from an LRU proof cache keyed by `(database digest, plan fingerprint)`.
-//! Identical queries in flight at the same time are deduplicated: the
-//! second waits for the first proof instead of proving again.
+//! service hosts a digest-addressed [`DatabaseRegistry`] of committed
+//! private [`Database`]s (each wrapped in a key-caching
+//! [`ProverSession`](poneglyph_core::ProverSession)), accepts planned
+//! queries — or raw SQL text, planned server-side — through a *bounded*
+//! job queue, proves them on a pool of worker threads, and serves repeated
+//! queries from an LRU proof cache keyed by `(database digest, plan
+//! fingerprint)`. Identical queries in flight at the same time are
+//! deduplicated: the second waits for the first proof instead of proving
+//! again.
 
 use crate::cache::LruCache;
-use poneglyph_core::{database_shape, prove_query, DatabaseCommitment, QueryResponse};
+use crate::registry::{digest_hex, DatabaseRegistry, DbEntry};
+use poneglyph_core::{ProverSession, QueryResponse};
 use poneglyph_pcs::IpaParams;
-use poneglyph_sql::{canonical_plan, canonical_plan_fingerprint, Database, Plan};
+use poneglyph_sql::{
+    canonical_plan, canonical_plan_fingerprint, catalog_of, parse, plan_query, Database, Plan,
+    Schema,
+};
 use rand::{rngs::StdRng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// The proof-cache key: which database state, which (canonical) query.
@@ -27,7 +35,8 @@ pub type CacheKey = ([u8; 64], [u8; 32]);
 pub struct ServiceConfig {
     /// Number of prover worker threads.
     pub workers: usize,
-    /// Maximum number of cached [`QueryResponse`]s.
+    /// Maximum number of cached [`QueryResponse`]s (shared across all
+    /// hosted databases).
     pub cache_capacity: usize,
     /// Bound of the job queue; submissions beyond it block (or are
     /// rejected by [`ProvingService::try_submit`]).
@@ -58,6 +67,13 @@ pub enum ServiceError {
     Prove(String),
     /// The service shut down before answering.
     Shutdown,
+    /// No database with the requested digest is attached (hex digest).
+    UnknownDatabase(String),
+    /// The legacy single-database path was used but no database is
+    /// attached.
+    NoDatabase,
+    /// SQL text failed to parse or plan.
+    Sql(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -66,6 +82,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::QueueFull => write!(f, "job queue full"),
             ServiceError::Prove(e) => write!(f, "proving failed: {e}"),
             ServiceError::Shutdown => write!(f, "service shut down"),
+            ServiceError::UnknownDatabase(d) => write!(f, "no database with digest {d}"),
+            ServiceError::NoDatabase => write!(f, "no database attached"),
+            ServiceError::Sql(e) => write!(f, "SQL error: {e}"),
         }
     }
 }
@@ -76,16 +95,42 @@ impl std::error::Error for ServiceError {}
 #[derive(Clone, Debug)]
 pub struct Served {
     /// The proof-carrying response (shared with the cache). The proof is
-    /// of the *canonical* form of the submitted plan — verify it with
-    /// [`verify_query`](poneglyph_core::verify_query) against
-    /// [`canonical_plan`].
+    /// of the *canonical* form of the submitted plan — verify it with a
+    /// [`VerifierSession`](poneglyph_core::VerifierSession) over the
+    /// database's shape.
     pub response: Arc<QueryResponse>,
     /// True when the response came from the proof cache without proving.
     pub cache_hit: bool,
 }
 
-/// Monotonic service counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Per-database monotonic counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatabaseStats {
+    /// The database's commitment digest.
+    pub digest: [u8; 64],
+    /// Proofs generated for this database.
+    pub proofs_generated: u64,
+    /// Queries answered from the proof cache.
+    pub cache_hits: u64,
+    /// Queries that waited for an identical in-flight proof instead of
+    /// proving again.
+    pub inflight_dedups: u64,
+    /// Responses currently held in the proof cache for this database.
+    pub cached_proofs: u64,
+}
+
+/// One hosted database's advertisement data (a consistent row of
+/// [`ProvingService::info_snapshot`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatabaseSnapshot {
+    /// Public table metadata `(name, schema, row count)`, in name order.
+    pub tables: Vec<(String, Schema, u64)>,
+    /// The database's counters.
+    pub stats: DatabaseStats,
+}
+
+/// Monotonic service counters (global plus per-database).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Proofs actually generated (cache misses that reached the prover).
     pub proofs_generated: u64,
@@ -93,18 +138,19 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Queries that missed the cache.
     pub cache_misses: u64,
+    /// Per-database breakdown, in digest order.
+    pub databases: Vec<DatabaseStats>,
 }
 
 struct Job {
+    entry: Arc<DbEntry>,
     plan: Plan,
     reply: SyncSender<Result<Served, ServiceError>>,
 }
 
 struct Shared {
     params: IpaParams,
-    db: Database,
-    shape: Database,
-    digest: [u8; 64],
+    registry: RwLock<DatabaseRegistry>,
     cache: Mutex<LruCache<CacheKey, Arc<QueryResponse>>>,
     /// Keys currently being proven, for in-flight deduplication.
     inflight: Mutex<HashSet<CacheKey>>,
@@ -124,9 +170,18 @@ impl JobHandle {
     pub fn wait(self) -> Result<Served, ServiceError> {
         self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
     }
+
+    /// A handle that resolves immediately to `err` (submission-time
+    /// failures on the infallible legacy path).
+    fn failed(err: ServiceError) -> Self {
+        let (reply, rx) = sync_channel(1);
+        let _ = reply.send(Err(err));
+        Self { rx }
+    }
 }
 
-/// A multi-threaded proving service over one committed database.
+/// A multi-threaded proving service over a registry of committed
+/// databases.
 ///
 /// Dropping the service closes the queue and joins every worker.
 pub struct ProvingService {
@@ -136,15 +191,11 @@ pub struct ProvingService {
 }
 
 impl ProvingService {
-    /// Start the service: commit to `db`, spawn the worker pool.
-    pub fn new(params: IpaParams, db: Database, config: ServiceConfig) -> Self {
-        let digest = DatabaseCommitment::commit(&params, &db).digest();
-        let shape = database_shape(&db);
+    /// Start a service with no databases attached.
+    pub fn empty(params: IpaParams, config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             params,
-            db,
-            shape,
-            digest,
+            registry: RwLock::new(DatabaseRegistry::new()),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             inflight: Mutex::new(HashSet::new()),
             inflight_done: Condvar::new(),
@@ -172,14 +223,111 @@ impl ProvingService {
         }
     }
 
-    /// The committed database's registry digest.
-    pub fn digest(&self) -> [u8; 64] {
-        self.shared.digest
+    /// Start the service hosting one database (which becomes the default
+    /// for the legacy single-database API).
+    pub fn new(params: IpaParams, db: Database, config: ServiceConfig) -> Self {
+        let service = Self::empty(params, config);
+        service.attach(db);
+        service
     }
 
-    /// The shape (schemas + row counts, zeroed values) a verifier needs.
-    pub fn shape(&self) -> &Database {
-        &self.shared.shape
+    /// Commit to `db` and host it; returns the digest that now addresses
+    /// it. The first attached database becomes the default. Re-attaching
+    /// an already-hosted digest *replaces* its entry — the SQL catalog and
+    /// primary-key metadata take effect and that database's counters (and
+    /// cached proving keys) restart; cached proofs stay valid because the
+    /// committed state is identical.
+    pub fn attach(&self, db: Database) -> [u8; 64] {
+        self.attach_with_pks(db, &[])
+    }
+
+    /// [`attach`](Self::attach) with primary-key metadata for server-side
+    /// SQL planning (joins are oriented PK-side right).
+    pub fn attach_with_pks(&self, db: Database, pks: &[(&str, &str)]) -> [u8; 64] {
+        let catalog = catalog_of(&db, pks);
+        let session = ProverSession::new(self.shared.params.clone(), db);
+        let digest = session.digest();
+        let shape = session.shape();
+        let entry = Arc::new(DbEntry {
+            digest,
+            session,
+            shape,
+            catalog,
+            proofs_generated: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            inflight_dedups: AtomicU64::new(0),
+        });
+        self.shared
+            .registry
+            .write()
+            .expect("registry lock")
+            .insert(entry)
+    }
+
+    /// Stop hosting a database; its cached proofs are purged. Returns
+    /// `false` if no such digest was attached.
+    pub fn detach(&self, digest: &[u8; 64]) -> bool {
+        let removed = self
+            .shared
+            .registry
+            .write()
+            .expect("registry lock")
+            .remove(digest)
+            .is_some();
+        if removed {
+            self.shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .retain(|key, _| key.0 != *digest);
+        }
+        removed
+    }
+
+    /// Digests of every hosted database, in digest order.
+    pub fn digests(&self) -> Vec<[u8; 64]> {
+        self.shared
+            .registry
+            .read()
+            .expect("registry lock")
+            .digests()
+    }
+
+    /// The default database's digest, if any database is attached.
+    pub fn default_digest(&self) -> Option<[u8; 64]> {
+        self.shared
+            .registry
+            .read()
+            .expect("registry lock")
+            .default_digest()
+    }
+
+    /// The default database's registry digest.
+    ///
+    /// Panics when no database is attached — use
+    /// [`default_digest`](Self::default_digest) for the fallible form.
+    pub fn digest(&self) -> [u8; 64] {
+        self.default_digest()
+            .expect("no database attached to the service")
+    }
+
+    /// The default database's shape (schemas + row counts, zeroed values).
+    ///
+    /// Panics when no database is attached — use
+    /// [`shape_of`](Self::shape_of) for the fallible form.
+    pub fn shape(&self) -> Database {
+        let digest = self.digest();
+        self.shape_of(&digest).expect("default database attached")
+    }
+
+    /// The shape of the database addressed by `digest`.
+    pub fn shape_of(&self, digest: &[u8; 64]) -> Option<Database> {
+        self.shared
+            .registry
+            .read()
+            .expect("registry lock")
+            .get(digest)
+            .map(|e| e.shape.clone())
     }
 
     /// The service's public parameters.
@@ -187,15 +335,27 @@ impl ProvingService {
         &self.shared.params
     }
 
-    /// The private database (prover side only).
-    pub fn database(&self) -> &Database {
-        &self.shared.db
+    fn resolve(&self, digest: &[u8; 64]) -> Result<Arc<DbEntry>, ServiceError> {
+        self.shared
+            .registry
+            .read()
+            .expect("registry lock")
+            .get(digest)
+            .ok_or_else(|| ServiceError::UnknownDatabase(digest_hex(&digest[..16])))
     }
 
-    /// Enqueue a query, blocking while the queue is full.
-    pub fn submit(&self, plan: Plan) -> JobHandle {
+    fn default_entry(&self) -> Result<Arc<DbEntry>, ServiceError> {
+        self.shared
+            .registry
+            .read()
+            .expect("registry lock")
+            .default_entry()
+            .ok_or(ServiceError::NoDatabase)
+    }
+
+    fn enqueue(&self, entry: Arc<DbEntry>, plan: Plan) -> JobHandle {
         let (reply, rx) = sync_channel(1);
-        let job = Job { plan, reply };
+        let job = Job { entry, plan, reply };
         if let Some(tx) = &self.tx {
             // A send error means every worker is gone; the handle will
             // resolve to `Shutdown` because the reply sender was dropped.
@@ -204,11 +364,38 @@ impl ProvingService {
         JobHandle { rx }
     }
 
-    /// Enqueue a query, failing fast with [`ServiceError::QueueFull`]
-    /// instead of blocking.
+    /// Enqueue a query against the default database, blocking while the
+    /// queue is full.
+    pub fn submit(&self, plan: Plan) -> JobHandle {
+        match self.default_entry() {
+            Ok(entry) => self.enqueue(entry, plan),
+            Err(e) => JobHandle::failed(e),
+        }
+    }
+
+    /// Enqueue a query against the database addressed by `digest`,
+    /// blocking while the queue is full.
+    pub fn submit_on(&self, digest: &[u8; 64], plan: Plan) -> Result<JobHandle, ServiceError> {
+        Ok(self.enqueue(self.resolve(digest)?, plan))
+    }
+
+    /// Enqueue against the default database, failing fast with
+    /// [`ServiceError::QueueFull`] instead of blocking.
     pub fn try_submit(&self, plan: Plan) -> Result<JobHandle, ServiceError> {
+        let entry = self.default_entry()?;
+        self.try_enqueue(entry, plan)
+    }
+
+    /// Enqueue against the database addressed by `digest`, failing fast
+    /// with [`ServiceError::QueueFull`] instead of blocking.
+    pub fn try_submit_on(&self, digest: &[u8; 64], plan: Plan) -> Result<JobHandle, ServiceError> {
+        let entry = self.resolve(digest)?;
+        self.try_enqueue(entry, plan)
+    }
+
+    fn try_enqueue(&self, entry: Arc<DbEntry>, plan: Plan) -> Result<JobHandle, ServiceError> {
         let (reply, rx) = sync_channel(1);
-        let job = Job { plan, reply };
+        let job = Job { entry, plan, reply };
         match &self.tx {
             Some(tx) => match tx.try_send(job) {
                 Ok(()) => Ok(JobHandle { rx }),
@@ -219,19 +406,108 @@ impl ProvingService {
         }
     }
 
-    /// Submit and wait: the blocking request path.
+    /// Submit and wait on the default database: the blocking request path.
     pub fn query(&self, plan: Plan) -> Result<Served, ServiceError> {
         self.submit(plan).wait()
     }
 
-    /// A snapshot of the service counters.
+    /// Submit and wait against the database addressed by `digest`.
+    pub fn query_on(&self, digest: &[u8; 64], plan: Plan) -> Result<Served, ServiceError> {
+        self.submit_on(digest, plan)?.wait()
+    }
+
+    /// Parse and plan SQL text against the database addressed by `digest`
+    /// (server-side planning: the client never needs the string
+    /// dictionary). Returns the *canonical* plan — the form the proof will
+    /// be generated for and must be verified against.
+    pub fn plan_sql(&self, digest: &[u8; 64], sql: &str) -> Result<Plan, ServiceError> {
+        let entry = self.resolve(digest)?;
+        plan_on_entry(&entry, sql)
+    }
+
+    /// Plan SQL text server-side, then submit and wait. Returns the
+    /// canonical plan alongside the response so the caller can verify
+    /// exactly what was proven.
+    pub fn query_sql(&self, digest: &[u8; 64], sql: &str) -> Result<(Plan, Served), ServiceError> {
+        let entry = self.resolve(digest)?;
+        let plan = plan_on_entry(&entry, sql)?;
+        let served = self.enqueue(entry, plan.clone()).wait()?;
+        Ok((plan, served))
+    }
+
+    /// A snapshot of the service counters, including the per-database
+    /// breakdown.
     pub fn stats(&self) -> ServiceStats {
+        let registry = self.shared.registry.read().expect("registry lock");
+        let databases = self.collect_database_stats(&registry);
+        drop(registry);
         ServiceStats {
             proofs_generated: self.shared.proofs_generated.load(Ordering::SeqCst),
             cache_hits: self.shared.cache_hits.load(Ordering::SeqCst),
             cache_misses: self.shared.cache_misses.load(Ordering::SeqCst),
+            databases,
         }
     }
+
+    /// A *consistent* snapshot for the info advertisement: the default
+    /// digest and every hosted database's table metadata + counters, read
+    /// under one registry lock so the default always names an advertised
+    /// database.
+    pub fn info_snapshot(&self) -> (Option<[u8; 64]>, Vec<DatabaseSnapshot>) {
+        let registry = self.shared.registry.read().expect("registry lock");
+        let default_digest = registry.default_digest();
+        let stats = self.collect_database_stats(&registry);
+        let snapshots = registry
+            .entries()
+            .zip(stats)
+            .map(|(entry, stats)| {
+                let mut tables: Vec<_> = entry
+                    .shape
+                    .tables
+                    .iter()
+                    .map(|(name, t)| (name.clone(), t.schema.clone(), t.len() as u64))
+                    .collect();
+                tables.sort_by(|a, b| a.0.cmp(&b.0));
+                DatabaseSnapshot { tables, stats }
+            })
+            .collect();
+        (default_digest, snapshots)
+    }
+
+    /// Per-database counters for every registered entry, with cached-proof
+    /// counts from a *single* pass over the cache keys. The caller holds
+    /// the registry read lock (entries and counts stay consistent).
+    fn collect_database_stats(&self, registry: &DatabaseRegistry) -> Vec<DatabaseStats> {
+        let mut cached: HashMap<[u8; 64], u64> = HashMap::new();
+        {
+            let cache = self.shared.cache.lock().expect("cache lock");
+            for key in cache.keys() {
+                *cached.entry(key.0).or_insert(0) += 1;
+            }
+        }
+        registry
+            .entries()
+            .map(|entry| DatabaseStats {
+                digest: entry.digest,
+                proofs_generated: entry.proofs_generated.load(Ordering::SeqCst),
+                cache_hits: entry.cache_hits.load(Ordering::SeqCst),
+                inflight_dedups: entry.inflight_dedups.load(Ordering::SeqCst),
+                cached_proofs: cached.get(&entry.digest).copied().unwrap_or(0),
+            })
+            .collect()
+    }
+}
+
+/// Parse + plan SQL against one hosted database.
+///
+/// The string dictionary is cloned per request: literals not present in
+/// the database intern to fresh ids that match no stored value (an empty
+/// predicate match), without mutating the committed database state.
+fn plan_on_entry(entry: &DbEntry, sql: &str) -> Result<Plan, ServiceError> {
+    let stmt = parse(sql).map_err(ServiceError::Sql)?;
+    let mut dict = entry.session.database().dict.clone();
+    let plan = plan_query(&stmt, &entry.catalog, &mut dict).map_err(ServiceError::Sql)?;
+    Ok(canonical_plan(&plan))
 }
 
 impl Drop for ProvingService {
@@ -252,7 +528,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>, mut rng: StdR
             Err(_) => break,
         };
         let Ok(job) = job else { break };
-        let served = serve_one(&shared, &job.plan, &mut rng);
+        let served = serve_one(&shared, &job.entry, &job.plan, &mut rng);
         // The client may have given up; a dead reply channel is fine.
         let _ = job.reply.send(served);
     }
@@ -263,17 +539,25 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>, mut rng: StdR
 /// The canonical plan is the query's identity: the proof is generated for
 /// (and must be verified against) `canonical_plan(plan)`, so that every
 /// plan sharing a fingerprint shares one cache entry *and* one circuit.
-fn serve_one(shared: &Shared, plan: &Plan, rng: &mut StdRng) -> Result<Served, ServiceError> {
+fn serve_one(
+    shared: &Shared,
+    entry: &DbEntry,
+    plan: &Plan,
+    rng: &mut StdRng,
+) -> Result<Served, ServiceError> {
     let plan = canonical_plan(plan);
-    let key: CacheKey = (shared.digest, canonical_plan_fingerprint(&plan));
+    let fingerprint = canonical_plan_fingerprint(&plan);
+    let key: CacheKey = (entry.digest, fingerprint);
 
     // Claim the key, or wait for whoever holds it and take their result
     // from the cache. Lock order is inflight → cache throughout.
     {
         let mut inflight = shared.inflight.lock().expect("inflight lock");
+        let mut waited = false;
         loop {
             if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
                 shared.cache_hits.fetch_add(1, Ordering::SeqCst);
+                entry.cache_hits.fetch_add(1, Ordering::SeqCst);
                 return Ok(Served {
                     response: hit,
                     cache_hit: true,
@@ -282,22 +566,41 @@ fn serve_one(shared: &Shared, plan: &Plan, rng: &mut StdRng) -> Result<Served, S
             if inflight.insert(key) {
                 break; // claimed: this worker proves
             }
+            if !waited {
+                waited = true;
+                entry.inflight_dedups.fetch_add(1, Ordering::SeqCst);
+            }
             inflight = shared.inflight_done.wait(inflight).expect("inflight wait");
         }
     }
 
     shared.cache_misses.fetch_add(1, Ordering::SeqCst);
     shared.proofs_generated.fetch_add(1, Ordering::SeqCst);
-    let outcome = prove_query(&shared.params, &shared.db, &plan, rng)
+    entry.proofs_generated.fetch_add(1, Ordering::SeqCst);
+    // One canonicalization + fingerprint per request: the session reuses
+    // the values computed above for the cache key.
+    let outcome = entry
+        .session
+        .prove_canonical(&plan, fingerprint, rng)
         .map(Arc::new)
         .map_err(|e| ServiceError::Prove(e.to_string()));
 
     if let Ok(response) = &outcome {
-        shared
-            .cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(response));
+        // Insert only while the database is still attached, holding the
+        // registry read lock across the insert: if a concurrent `detach`
+        // already removed the entry we skip (its purge may have run);
+        // if it removes the entry after our check, its purge is ordered
+        // after our insert and erases it. Either way a detached digest
+        // leaves nothing in the cache.
+        let registry = shared.registry.read().expect("registry lock");
+        if registry.get(&entry.digest).is_some() {
+            shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, Arc::clone(response));
+        }
+        drop(registry);
     }
 
     // Release the claim whether proving succeeded or failed, so waiters
@@ -316,7 +619,7 @@ fn serve_one(shared: &Shared, plan: &Plan, rng: &mut StdRng) -> Result<Served, S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use poneglyph_core::verify_query;
+    use poneglyph_core::VerifierSession;
     use poneglyph_sql::{CmpOp, ColumnType, Predicate, Schema, Table};
 
     fn tiny_db() -> Database {
@@ -326,6 +629,19 @@ mod tests {
             ("val", ColumnType::Int),
         ]));
         for (id, val) in [(1, 10), (2, 20), (3, 30), (4, 40)] {
+            t.push_row(&[id, val]);
+        }
+        db.add_table("t", t);
+        db
+    }
+
+    fn other_db() -> Database {
+        let mut db = Database::new();
+        let mut t = Table::empty(Schema::new(&[
+            ("id", ColumnType::Int),
+            ("val", ColumnType::Int),
+        ]));
+        for (id, val) in [(1, 5), (2, 25), (3, 35)] {
             t.push_row(&[id, val]);
         }
         db.add_table("t", t);
@@ -363,15 +679,16 @@ mod tests {
         assert_eq!(stats.proofs_generated, 1);
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.databases.len(), 1);
+        assert_eq!(stats.databases[0].proofs_generated, 1);
+        assert_eq!(stats.databases[0].cache_hits, 1);
+        assert_eq!(stats.databases[0].cached_proofs, 1);
 
         // The cached response still verifies from public information.
-        let verified = verify_query(
-            service.params(),
-            service.shape(),
-            &filter_plan(20),
-            &second.response,
-        )
-        .expect("verify");
+        let verifier = VerifierSession::new(service.params().clone(), service.shape());
+        let verified = verifier
+            .verify(&filter_plan(20), &second.response)
+            .expect("verify");
         assert_eq!(verified, second.response.result);
     }
 
@@ -414,16 +731,13 @@ mod tests {
         assert!(shared.cache_hit);
         assert_eq!(service.stats().proofs_generated, 1);
 
-        // The shared proof is of the canonical plan, so it verifies for
-        // *both* submitted spellings of the query via their canonical form.
+        // The shared proof is of the canonical plan; a verifier session
+        // canonicalizes internally, so *both* spellings verify.
+        let verifier = VerifierSession::new(service.params().clone(), service.shape());
         for plan in [a, b] {
-            let verified = verify_query(
-                service.params(),
-                service.shape(),
-                &canonical_plan(&plan),
-                &shared.response,
-            )
-            .expect("shared proof verifies");
+            let verified = verifier
+                .verify(&plan, &shared.response)
+                .expect("shared proof verifies");
             assert_eq!(verified, shared.response.result);
         }
     }
@@ -442,5 +756,109 @@ mod tests {
         // The failure is not cached; the service keeps running.
         assert_eq!(service.stats().proofs_generated, 1);
         assert!(service.query(filter_plan(20)).is_ok());
+    }
+
+    #[test]
+    fn multi_database_attach_detach() {
+        let service = ProvingService::empty(IpaParams::setup(11), ServiceConfig::default());
+        assert!(matches!(
+            service.query(filter_plan(20)),
+            Err(ServiceError::NoDatabase)
+        ));
+
+        let d1 = service.attach(tiny_db());
+        let d2 = service.attach(other_db());
+        assert_ne!(d1, d2);
+        assert_eq!(service.digests().len(), 2);
+        assert_eq!(service.default_digest(), Some(d1));
+
+        // Same plan, different databases: different proofs, both correct.
+        let r1 = service.query_on(&d1, filter_plan(20)).expect("db1");
+        let r2 = service.query_on(&d2, filter_plan(20)).expect("db2");
+        assert_ne!(r1.response.result, r2.response.result);
+        let v1 = VerifierSession::new(
+            service.params().clone(),
+            service.shape_of(&d1).expect("shape 1"),
+        );
+        let v2 = VerifierSession::new(
+            service.params().clone(),
+            service.shape_of(&d2).expect("shape 2"),
+        );
+        assert!(v1.verify(&filter_plan(20), &r1.response).is_ok());
+        assert!(v2.verify(&filter_plan(20), &r2.response).is_ok());
+        // Swapped shapes reject (different table sizes → different circuit).
+        assert!(v2.verify(&filter_plan(20), &r1.response).is_err());
+
+        let stats = service.stats();
+        assert_eq!(stats.databases.len(), 2);
+        assert!(stats.databases.iter().all(|d| d.proofs_generated == 1));
+
+        // Detaching purges the cache and unroutes the digest.
+        assert!(service.detach(&d1));
+        assert!(!service.detach(&d1));
+        assert!(matches!(
+            service.query_on(&d1, filter_plan(20)),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        let stats = service.stats();
+        assert_eq!(stats.databases.len(), 1);
+        assert_eq!(stats.databases[0].digest, d2);
+        // The default fell back to the remaining database.
+        assert_eq!(service.default_digest(), Some(d2));
+    }
+
+    #[test]
+    fn reattach_replaces_entry_and_keeps_cached_proofs() {
+        let service =
+            ProvingService::new(IpaParams::setup(11), tiny_db(), ServiceConfig::default());
+        let digest = service.digest();
+        service.query(filter_plan(20)).expect("prove once");
+        assert_eq!(service.stats().databases[0].proofs_generated, 1);
+
+        // Re-attach with PK metadata: same digest, fresh entry.
+        let again = service.attach_with_pks(tiny_db(), &[("t", "id")]);
+        assert_eq!(again, digest);
+        assert_eq!(
+            service.stats().databases[0].proofs_generated,
+            0,
+            "re-attach swaps in a fresh entry (counters restart)"
+        );
+
+        // The proof cached before the re-attach still serves: same
+        // committed state, same (digest, fingerprint) key.
+        let served = service
+            .query(filter_plan(20))
+            .expect("query after re-attach");
+        assert!(served.cache_hit);
+    }
+
+    #[test]
+    fn sql_over_the_service() {
+        let service =
+            ProvingService::new(IpaParams::setup(11), tiny_db(), ServiceConfig::default());
+        let digest = service.digest();
+        let (plan, served) = service
+            .query_sql(&digest, "SELECT id, val FROM t WHERE val >= 20")
+            .expect("sql query");
+        let verifier = VerifierSession::new(service.params().clone(), service.shape());
+        let verified = verifier.verify(&plan, &served.response).expect("verify");
+        assert_eq!(verified.len(), 3);
+
+        // A re-submission of the same SQL (even spelled differently) hits
+        // the same cache entry via the canonical plan fingerprint.
+        let (_, again) = service
+            .query_sql(
+                &digest,
+                "SELECT id, val FROM t WHERE val >= 20 AND val >= 20",
+            )
+            .expect("repeat sql");
+        assert!(again.cache_hit, "identical SQL must share a proof");
+        assert_eq!(service.stats().proofs_generated, 1);
+
+        // Bad SQL is a clean error.
+        assert!(matches!(
+            service.query_sql(&digest, "SELECT nope FROM nowhere"),
+            Err(ServiceError::Sql(_))
+        ));
     }
 }

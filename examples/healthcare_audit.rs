@@ -66,9 +66,10 @@ fn main() {
     let plan = plan_query(&stmt, &catalog, &mut dict).expect("plan");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
-    let shape = database_shape(&db);
-    let result = verify_query(&params, &shape, &plan, &response).expect("verify");
+    let prover = ProverSession::new(params.clone(), db.clone());
+    let response = prover.prove(&plan, &mut rng).expect("prove");
+    let verifier = VerifierSession::new(params, database_shape(&db));
+    let result = verifier.verify(&plan, &response).expect("verify");
     println!(
         "institution Y verified: {} matching patients, avg stay {} days",
         result.row(0)[0],
@@ -79,8 +80,12 @@ fn main() {
     let mut forged = response.clone();
     forged.instance[1][0] += Fq::from(1u64);
     assert!(
-        verify_query(&params, &shape, &plan, &forged).is_err(),
+        verifier.verify(&plan, &forged).is_err(),
         "forged responses are rejected"
     );
     println!("forged response rejected — provability holds");
+
+    // The session answered three times off one compiled circuit + key.
+    let stats = verifier.stats();
+    assert_eq!((stats.compiles, stats.keygens), (1, 1));
 }

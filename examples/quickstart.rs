@@ -49,19 +49,23 @@ fn main() {
     let mut dict = db.dict.clone();
     let plan = plan_query(&stmt, &catalog, &mut dict).expect("plan");
 
-    // 3. The prover answers with a non-interactive ZK proof.
+    // 3. The prover opens a long-lived session over its private database
+    //    and answers with a non-interactive ZK proof. Repeat queries reuse
+    //    the cached proving key.
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+    let prover = ProverSession::new(params.clone(), db.clone());
+    let response = prover.prove(&plan, &mut rng).expect("prove");
     println!(
         "proof: {} bytes for a 2^{} circuit",
         response.proof_size(),
         response.k
     );
 
-    // 4. The verifier re-derives the circuit from public information (the
-    //    query + table sizes) and checks the proof.
-    let shape = database_shape(&db);
-    let result = verify_query(&params, &shape, &plan, &response).expect("verify");
+    // 4. The verifier session re-derives the circuit from public
+    //    information only (the query + table sizes), caches the verifying
+    //    key, and checks the proof.
+    let verifier = VerifierSession::new(params, database_shape(&db));
+    let result = verifier.verify(&plan, &response).expect("verify");
     println!("verified result:");
     for r in 0..result.len() {
         let row = result.row(r);

@@ -29,22 +29,26 @@ fn main() {
         println!("  {name}: {} result rows", out.len());
     }
 
-    // Prove + verify Q1 (the pricing summary report).
+    // Prove + verify Q1 (the pricing summary report) through sessions.
     let params = IpaParams::setup(12);
     let plan = tpch::q1_plan();
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let prover = ProverSession::new(params.clone(), db.clone());
     let t = std::time::Instant::now();
-    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+    let response = prover.prove(&plan, &mut rng).expect("prove");
     println!(
         "Q1 proven in {:.2?} ({} byte proof, 2^{} circuit)",
         t.elapsed(),
         response.proof_size(),
         response.k
     );
-    let shape = database_shape(&db);
+    let verifier = VerifierSession::new(params, database_shape(&db));
     let t = std::time::Instant::now();
-    let result = verify_query(&params, &shape, &plan, &response).expect("verify");
-    println!("Q1 verified in {:.2?}:", t.elapsed());
+    let result = verifier.verify(&plan, &response).expect("verify");
+    println!(
+        "Q1 verified in {:.2?} (cold: compile + keygen_vk)",
+        t.elapsed()
+    );
     for r in 0..result.len() {
         let row = result.row(r);
         println!(

@@ -42,9 +42,11 @@ pub use poneglyph_tpch as tpch;
 /// The most common imports for applications.
 pub mod prelude {
     pub use poneglyph_core::{
-        check_query, database_shape, prove_query, verify_query, CommitmentRegistry,
-        DatabaseCommitment, QueryResponse,
+        check_query, database_shape, CommitmentRegistry, DatabaseCommitment, ProverSession,
+        QueryResponse, SessionStats, VerifierSession,
     };
+    #[allow(deprecated)] // one-shot wrappers: kept importable through 0.2
+    pub use poneglyph_core::{prove_query, verify_query};
     pub use poneglyph_pcs::IpaParams;
     pub use poneglyph_service::{ProvingService, ServiceClient, ServiceConfig, ServiceServer};
     pub use poneglyph_sql::{

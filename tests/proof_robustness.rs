@@ -1,7 +1,7 @@
 //! Adversarial robustness: malformed or mutated proof bytes must never
 //! verify, and never panic the verifier.
 
-use poneglyph_core::{database_shape, prove_query, verify_query};
+use poneglyph_core::{database_shape, ProverSession, VerifierSession};
 use poneglyph_pcs::IpaParams;
 use poneglyph_plonkish::Proof;
 use poneglyph_sql::{AggFunc, Aggregate, CmpOp, Plan, Predicate, ScalarExpr};
@@ -36,9 +36,12 @@ fn proof_bytes_roundtrip_and_mutations_fail() {
     let params = IpaParams::setup(10);
     let plan = small_query();
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
-    let shape = database_shape(&db);
-    verify_query(&params, &shape, &plan, &response).expect("baseline verifies");
+    let prover = ProverSession::new(params.clone(), db.clone());
+    let response = prover.prove(&plan, &mut rng).expect("prove");
+    let verifier = VerifierSession::new(params, database_shape(&db));
+    verifier
+        .verify(&plan, &response)
+        .expect("baseline verifies");
 
     let bytes = response.proof.to_bytes();
     // Round trip.
@@ -51,7 +54,7 @@ fn proof_bytes_roundtrip_and_mutations_fail() {
             let mut forged = response.clone();
             forged.proof = p;
             assert!(
-                verify_query(&params, &shape, &plan, &forged).is_err(),
+                verifier.verify(&plan, &forged).is_err(),
                 "truncated-at-{cut} proof must not verify"
             );
         }
@@ -70,7 +73,7 @@ fn proof_bytes_roundtrip_and_mutations_fail() {
             let mut forged = response.clone();
             forged.proof = p;
             assert!(
-                verify_query(&params, &shape, &plan, &forged).is_err(),
+                verifier.verify(&plan, &forged).is_err(),
                 "byte-flip at {i} must not verify"
             );
         }
@@ -103,10 +106,11 @@ fn proof_for_one_query_rejected_for_another() {
         )],
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
-    let response = prove_query(&params, &db, &plan_a, &mut rng).expect("prove");
-    let shape = database_shape(&db);
+    let prover = ProverSession::new(params.clone(), db.clone());
+    let response = prover.prove(&plan_a, &mut rng).expect("prove");
+    let verifier = VerifierSession::new(params, database_shape(&db));
     assert!(
-        verify_query(&params, &shape, &plan_b, &response).is_err(),
+        verifier.verify(&plan_b, &response).is_err(),
         "a proof must be bound to its query"
     );
 }
@@ -120,14 +124,15 @@ fn proof_bound_to_database_contents() {
     let params = IpaParams::setup(10);
     let plan = small_query();
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
-    let shape = database_shape(&db);
+    let prover = ProverSession::new(params.clone(), db.clone());
+    let response = prover.prove(&plan, &mut rng).expect("prove");
+    let verifier = VerifierSession::new(params, database_shape(&db));
 
     let mut altered = response.clone();
     if !altered.result.is_empty() {
         altered.result.cols[1][0] += 1;
         assert!(
-            verify_query(&params, &shape, &plan, &altered).is_err(),
+            verifier.verify(&plan, &altered).is_err(),
             "result/instance mismatch must be rejected"
         );
     }

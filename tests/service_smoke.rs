@@ -1,7 +1,9 @@
 //! End-to-end service smoke test: a proving service on an ephemeral TCP
 //! port, concurrent clients, proof verification from public info only, and
 //! the cache-hit guarantee (the second identical query never re-proves,
-//! asserted via the service's prove counter).
+//! asserted via the service's prove counter). Covers the v2 protocol
+//! (digest addressing, SQL-over-the-wire) and the legacy v1 path behind
+//! the deprecated wrappers.
 
 use poneglyphdb::prelude::*;
 use poneglyphdb::service::ServiceServer;
@@ -23,6 +25,20 @@ fn test_db() -> Database {
         (5, 7, 50),
         (6, 9, 60),
     ] {
+        t.push_row(&[id, grp, val]);
+    }
+    db.add_table("t", t);
+    db
+}
+
+fn second_db() -> Database {
+    let mut db = Database::new();
+    let mut t = Table::empty(Schema::new(&[
+        ("id", ColumnType::Int),
+        ("grp", ColumnType::Int),
+        ("val", ColumnType::Int),
+    ]));
+    for (id, grp, val) in [(1, 1, 15), (2, 1, 25), (3, 2, 35)] {
         t.push_row(&[id, grp, val]);
     }
     db.add_table("t", t);
@@ -72,6 +88,7 @@ fn concurrent_clients_over_tcp_share_one_proof() {
             ..ServiceConfig::default()
         },
     ));
+    let digest = service.digest();
     let server = ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr();
 
@@ -81,10 +98,11 @@ fn concurrent_clients_over_tcp_share_one_proof() {
         let handles: Vec<_> = (0..2)
             .map(|_| {
                 let params = &params;
+                let digest = &digest;
                 scope.spawn(move || {
                     let mut client = ServiceClient::connect(addr).expect("connect");
                     client
-                        .query_verified(params, &query_plan())
+                        .query_verified_on(params, digest, &query_plan())
                         .expect("query + verify")
                 })
             })
@@ -108,7 +126,7 @@ fn concurrent_clients_over_tcp_share_one_proof() {
     // touching the prover.
     let mut client = ServiceClient::connect(addr).expect("connect");
     let (table, cache_hit) = client
-        .query_verified(&params, &query_plan())
+        .query_verified_on(&params, &digest, &query_plan())
         .expect("cached query");
     assert_eq!(table, expected);
     assert!(cache_hit, "repeat query must come from the proof cache");
@@ -120,18 +138,126 @@ fn concurrent_clients_over_tcp_share_one_proof() {
     assert!(service.stats().cache_hits >= 1);
 
     // Semantically identical plans with reordered predicates share one
-    // proof over TCP — and the shared proof verifies for both spellings.
-    let proofs_before = service.stats().proofs_generated;
+    // proof over TCP — and the shared proof verifies for both spellings
+    // through the client's cached verifier session (one compile+keygen
+    // for the pair).
+    let stats_before = service.stats();
+    let session_before = client.verifier_stats(&digest).expect("session exists");
     let (r1, hit1) = client
-        .query_verified(&params, &reordered_two_pred_plan(false))
+        .query_verified_on(&params, &digest, &reordered_two_pred_plan(false))
         .expect("two-pred query");
     let (r2, hit2) = client
-        .query_verified(&params, &reordered_two_pred_plan(true))
+        .query_verified_on(&params, &digest, &reordered_two_pred_plan(true))
         .expect("reordered two-pred query");
     assert_eq!(r1, r2);
     assert!(!hit1, "first spelling is a fresh proof");
     assert!(hit2, "reordered spelling must hit the same cache entry");
-    assert_eq!(service.stats().proofs_generated, proofs_before + 1);
+    assert_eq!(
+        service.stats().proofs_generated,
+        stats_before.proofs_generated + 1
+    );
+    let session_after = client.verifier_stats(&digest).expect("session exists");
+    assert_eq!(
+        session_after.keygens,
+        session_before.keygens + 1,
+        "both spellings share one verifying key"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn protocol_v2_sql_and_multi_db_round_trip() {
+    let params = IpaParams::setup(11);
+    let service = Arc::new(ProvingService::empty(
+        params.clone(),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+    let d1 = service.attach(test_db());
+    let d2 = service.attach(second_db());
+    let server = ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    // Info advertises both databases with their shapes and counters.
+    let info = client.info().expect("info");
+    assert_eq!(info.protocol, poneglyphdb::service::PROTOCOL_VERSION);
+    assert_eq!(info.databases.len(), 2);
+    assert_eq!(info.default_digest, Some(d1));
+    assert!(info.database(&d2).is_some());
+
+    // SQL text against a named digest: the server plans it, the client
+    // verifies the response against the echoed canonical plan.
+    let sql = "SELECT id, val FROM t WHERE val >= 20";
+    let (result, plan, _) = client
+        .query_verified_sql(&params, &d1, sql)
+        .expect("sql round trip");
+    assert_eq!(result.len(), 5, "five rows of test_db satisfy val >= 20");
+
+    // The same SQL against the *other* database gives that database's
+    // answer, independently proven and verified.
+    let (result2, _, _) = client
+        .query_verified_sql(&params, &d2, sql)
+        .expect("sql on second db");
+    assert_eq!(result2.len(), 2, "two rows of second_db satisfy val >= 20");
+
+    // Cross-database confusion is rejected: a response proven against d2
+    // cannot verify under d1's session (different table sizes → different
+    // circuit), and naming an unknown digest is a clean server error.
+    let (_, wire2) = client.query_sql(&d2, sql).expect("raw response from d2");
+    let v1 = VerifierSession::new(params.clone(), service.shape_of(&d1).expect("shape"));
+    assert!(
+        v1.verify(&plan, &wire2.response).is_err(),
+        "swapped-digest response must not verify"
+    );
+    let unknown = [0xABu8; 64];
+    match client.query_sql(&unknown, sql) {
+        Err(poneglyphdb::service::ClientError::Server(msg)) => {
+            assert!(msg.contains("no database"), "{msg}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    // Per-database counters are live over REQ_INFO.
+    let info = client.info().expect("info refresh");
+    let db1 = info.database(&d1).expect("d1 advertised");
+    let db2 = info.database(&d2).expect("d2 advertised");
+    assert_eq!(db1.proofs_generated, 1);
+    assert_eq!(db2.proofs_generated, 1);
+
+    server.stop();
+}
+
+#[test]
+fn legacy_v1_plan_queries_still_served() {
+    // The deprecated single-database client path (bare REQ_QUERY frames,
+    // no digest) keeps working against the default database.
+    #![allow(deprecated)]
+    let params = IpaParams::setup(11);
+    let service = Arc::new(ProvingService::new(
+        params.clone(),
+        test_db(),
+        ServiceConfig::default(),
+    ));
+    let server = ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    let (table, cache_hit) = client
+        .query_verified(&params, &query_plan())
+        .expect("legacy query + verify");
+    let expected = poneglyphdb::sql::execute(&test_db(), &query_plan())
+        .unwrap()
+        .output;
+    assert_eq!(table, expected);
+    assert!(!cache_hit);
+
+    // The deprecated core wrappers agree with the session result.
+    let wire = client.query(&query_plan()).expect("legacy raw query");
+    let verified = verify_query(&params, &service.shape(), &query_plan(), &wire.response)
+        .expect("deprecated verify_query");
+    assert_eq!(verified, expected);
 
     server.stop();
 }
@@ -140,10 +266,11 @@ fn concurrent_clients_over_tcp_share_one_proof() {
 fn server_reports_clean_errors_for_bad_requests() {
     let params = IpaParams::setup(11);
     let service = Arc::new(ProvingService::new(
-        params,
+        params.clone(),
         test_db(),
         ServiceConfig::default(),
     ));
+    let digest = service.digest();
     let server = ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
     let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
 
@@ -151,16 +278,22 @@ fn server_reports_clean_errors_for_bad_requests() {
     let missing = Plan::Scan {
         table: "nope".into(),
     };
-    match client.query(&missing) {
+    match client.query_on(&digest, &missing) {
         Err(poneglyphdb::service::ClientError::Server(msg)) => {
             assert!(msg.contains("nope") || msg.contains("proving"), "{msg}");
         }
         other => panic!("expected a server error, got {other:?}"),
     }
 
+    // Malformed SQL is a clean error, not a hangup.
+    match client.query_sql(&digest, "SELEKT broken FROM") {
+        Err(poneglyphdb::service::ClientError::Server(_)) => {}
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
     // The same connection still answers good queries afterwards.
     let info = client.info().expect("info after error");
-    assert_eq!(info.digest, service.digest());
-    let wire = client.query(&query_plan()).expect("good query");
+    assert_eq!(info.default_digest, Some(service.digest()));
+    let wire = client.query_on(&digest, &query_plan()).expect("good query");
     assert!(!wire.response.result.is_empty());
 }

@@ -50,15 +50,16 @@ fn query_response_roundtrips_and_verifies() {
     let params = IpaParams::setup(11);
     let plan = agg_plan();
     let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+    let prover = ProverSession::new(params.clone(), db.clone());
+    let response = prover.prove(&plan, &mut rng).expect("prove");
 
     let bytes = response.to_bytes();
     let back = QueryResponse::from_bytes(&bytes).expect("decode");
     assert_eq!(back, response, "to_bytes ∘ from_bytes must be the identity");
 
     // The deserialized response verifies like the original.
-    let shape = database_shape(&db);
-    let verified = verify_query(&params, &shape, &plan, &back).expect("verify");
+    let verifier = VerifierSession::new(params, database_shape(&db));
+    let verified = verifier.verify(&plan, &back).expect("verify");
     assert_eq!(verified, response.result);
 }
 
@@ -68,9 +69,13 @@ fn truncated_and_corrupted_response_bytes_fail_cleanly() {
     let params = IpaParams::setup(11);
     let plan = agg_plan();
     let mut rng = rand::rngs::StdRng::seed_from_u64(22);
-    let response = prove_query(&params, &db, &plan, &mut rng).expect("prove");
+    let prover = ProverSession::new(params.clone(), db.clone());
+    let response = prover.prove(&plan, &mut rng).expect("prove");
     let bytes = response.to_bytes();
-    let shape = database_shape(&db);
+    let verifier = VerifierSession::new(params, database_shape(&db));
+    verifier
+        .verify(&plan, &response)
+        .expect("baseline verifies");
 
     // Every truncation is rejected at decode time (the format is
     // self-delimiting, so a shorter prefix can never be complete).
@@ -82,7 +87,8 @@ fn truncated_and_corrupted_response_bytes_fail_cleanly() {
     }
 
     // Byte flips either fail to decode or decode to a response the
-    // verifier rejects; nothing panics.
+    // verifier rejects; nothing panics. The session caches the verifying
+    // key, so the sweep costs one keygen total.
     for i in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
         let mut mutated = bytes.clone();
         mutated[i] ^= 0x55;
@@ -91,11 +97,16 @@ fn truncated_and_corrupted_response_bytes_fail_cleanly() {
                 continue; // flip landed in bytes that decode identically
             }
             assert!(
-                verify_query(&params, &shape, &plan, &decoded).is_err(),
+                verifier.verify(&plan, &decoded).is_err(),
                 "byte flip at {i} produced a verifying forgery"
             );
         }
     }
+    assert_eq!(
+        verifier.stats().keygens,
+        1,
+        "one keygen for the whole sweep"
+    );
 }
 
 #[test]
