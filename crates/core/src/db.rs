@@ -126,6 +126,15 @@ impl QueryResponse {
     pub fn proof_size(&self) -> usize {
         self.proof.size_in_bytes()
     }
+
+    /// Approximate serialized size of the whole response, without
+    /// allocating: the weight a byte-budgeted response cache charges for
+    /// holding this entry.
+    pub fn approx_bytes(&self) -> usize {
+        let instance: usize = self.instance.iter().map(|col| 4 + col.len() * 32).sum();
+        let result = self.result.len() * self.result.schema.width() * 8;
+        64 + result + instance + self.proof_size()
+    }
 }
 
 /// Errors from the end-to-end pipeline.

@@ -9,14 +9,17 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod cache;
 mod compiler;
 mod db;
 mod encode;
 pub mod extras;
+pub mod mutate;
 mod session;
 mod wire;
 
 pub use builder::{BitCol, Builder};
+pub use cache::LruCache;
 pub use compiler::{compile, CompiledQuery, GateSet};
 pub use db::{
     check_query, database_shape, prover_setup, CommitmentRegistry, DatabaseCommitment, DbError,
@@ -25,7 +28,8 @@ pub use db::{
 #[allow(deprecated)]
 pub use db::{prove_query, verify_query};
 pub use encode::{decode, encode, encode_fq, MAX_VALUE, VALUE_BOUND, VALUE_BYTES};
-pub use session::{ProverSession, SessionStats, VerifierSession};
+pub use mutate::{apply_append, AppliedDelta, DeltaLog, MutationError, RowBatch};
+pub use session::{ProverSession, SessionStats, VerifierSession, DEFAULT_KEY_CACHE_CAPACITY};
 pub use wire::{
     column_type_byte, column_type_from_byte, read_schema, read_table, write_schema, write_table,
     RESPONSE_MAGIC, RESPONSE_WIRE_VERSION,

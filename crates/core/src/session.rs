@@ -21,7 +21,15 @@
 //! lookups, and only threads racing on the *same not-yet-keyed plan* wait
 //! on each other — one of them runs the compile+keygen, the rest reuse
 //! it, so the one-keygen-per-plan invariant holds under concurrency.
+//!
+//! Key caches are **bounded**: each session keeps at most
+//! [`DEFAULT_KEY_CACHE_CAPACITY`] fingerprints (tunable per session via
+//! `with_key_capacity`) in an [`LruCache`](crate::LruCache), so a
+//! long-running deployment — especially one whose databases mutate, every
+//! mutation minting a fresh digest and session — cannot grow key memory
+//! without bound. Evicting a plan only costs a re-keygen on its next use.
 
+use crate::cache::LruCache;
 use crate::compiler::{compile, GateSet};
 use crate::db::{database_shape, DatabaseCommitment, DbError, QueryResponse};
 use crate::encode::decode;
@@ -35,9 +43,13 @@ use poneglyph_sql::{
     canonical_plan, canonical_plan_fingerprint, execute, Database, Plan, Schema, Table,
 };
 use rand::Rng;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default bound on a session's per-fingerprint key cache. Proving keys
+/// are the largest per-plan artifact in the system; 64 distinct hot plans
+/// per database is generous, and eviction only costs a re-keygen.
+pub const DEFAULT_KEY_CACHE_CAPACITY: usize = 64;
 
 /// Monotonic counters for one session's circuit/key work.
 ///
@@ -100,8 +112,8 @@ pub struct ProverSession {
     commitment: OnceLock<DatabaseCommitment>,
     /// One init-once slot per canonical fingerprint (see
     /// [`VerifierSession::prepared`] for why: concurrent first-time
-    /// queries must not duplicate the keygen).
-    keys: Mutex<HashMap<[u8; 32], Arc<OnceLock<Arc<ProverKeyEntry>>>>>,
+    /// queries must not duplicate the keygen), LRU-bounded.
+    keys: Mutex<LruCache<[u8; 32], Arc<OnceLock<Arc<ProverKeyEntry>>>>>,
     stats: StatCounters,
 }
 
@@ -109,13 +121,44 @@ impl ProverSession {
     /// Open a session over a private database. Commitment is deferred to
     /// the first [`digest`](Self::digest) call.
     pub fn new(params: IpaParams, db: Database) -> Self {
+        Self::with_key_capacity(params, db, DEFAULT_KEY_CACHE_CAPACITY)
+    }
+
+    /// [`new`](Self::new) with an explicit key-cache bound (`0` disables
+    /// key caching: every prove re-keys).
+    pub fn with_key_capacity(params: IpaParams, db: Database, capacity: usize) -> Self {
         Self {
             params,
             db,
             commitment: OnceLock::new(),
-            keys: Mutex::new(HashMap::new()),
+            keys: Mutex::new(LruCache::new(capacity)),
             stats: StatCounters::new(),
         }
+    }
+
+    /// Open a session over a database whose commitment is *already known*
+    /// — the incremental-update path: a mutation engine that
+    /// homomorphically advanced a previous state's commitment
+    /// ([`DatabaseCommitment::append_rows`]) seeds the successor session
+    /// with it instead of paying a full re-commit.
+    ///
+    /// The caller asserts `commitment` commits to `db`; in debug builds
+    /// this is re-checked against a fresh commit.
+    pub fn with_commitment(
+        params: IpaParams,
+        db: Database,
+        commitment: DatabaseCommitment,
+    ) -> Self {
+        debug_assert!(
+            commitment.matches(&params, &db),
+            "seeded commitment must match the database"
+        );
+        let session = Self::new(params, db);
+        session
+            .commitment
+            .set(commitment)
+            .expect("fresh session has no commitment");
+        session
     }
 
     /// The session's public parameters.
@@ -185,7 +228,7 @@ impl ProverSession {
 
         let slot = {
             let mut map = self.keys.lock().expect("keys lock");
-            Arc::clone(map.entry(fingerprint).or_default())
+            map.get_or_insert_with(&fingerprint, Default::default)
         };
         let mut initialized_here = false;
         let entry = slot.get_or_init(|| {
@@ -223,6 +266,11 @@ impl ProverSession {
     pub fn stats(&self) -> SessionStats {
         self.stats.snapshot()
     }
+
+    /// Number of plans currently holding a cached proving key.
+    pub fn key_cache_len(&self) -> usize {
+        self.keys.lock().expect("keys lock").len()
+    }
 }
 
 /// A verifier-side compiled query: everything needed to check any number
@@ -255,8 +303,8 @@ pub struct VerifierSession {
     /// asking for the same plan blocks on the slot instead of duplicating
     /// the compile + keygen, so `compiles == keygens == 1` per plan holds
     /// even under concurrent first use. Compile failures are cached too
-    /// (deterministic in plan + shape).
-    prepared: Mutex<HashMap<[u8; 32], Arc<OnceLock<Result<Arc<PreparedQuery>, String>>>>>,
+    /// (deterministic in plan + shape). LRU-bounded.
+    prepared: Mutex<LruCache<[u8; 32], Arc<OnceLock<Result<Arc<PreparedQuery>, String>>>>>,
     stats: StatCounters,
 }
 
@@ -264,10 +312,16 @@ impl VerifierSession {
     /// Open a session over a database shape (any database with the right
     /// schemas and row counts works — values are never read).
     pub fn new(params: IpaParams, shape: Database) -> Self {
+        Self::with_key_capacity(params, shape, DEFAULT_KEY_CACHE_CAPACITY)
+    }
+
+    /// [`new`](Self::new) with an explicit key-cache bound (`0` disables
+    /// caching: every verify re-compiles and re-keys).
+    pub fn with_key_capacity(params: IpaParams, shape: Database, capacity: usize) -> Self {
         Self {
             params,
             shape,
-            prepared: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(LruCache::new(capacity)),
             stats: StatCounters::new(),
         }
     }
@@ -286,7 +340,7 @@ impl VerifierSession {
     fn prepare(&self, plan: &Plan, fingerprint: [u8; 32]) -> Result<Arc<PreparedQuery>, DbError> {
         let slot = {
             let mut map = self.prepared.lock().expect("prepared lock");
-            Arc::clone(map.entry(fingerprint).or_default())
+            map.get_or_insert_with(&fingerprint, Default::default)
         };
         let mut initialized_here = false;
         let outcome = slot.get_or_init(|| {
@@ -432,6 +486,11 @@ impl VerifierSession {
     /// A snapshot of the session's work counters.
     pub fn stats(&self) -> SessionStats {
         self.stats.snapshot()
+    }
+
+    /// Number of plans currently holding a cached compiled circuit + key.
+    pub fn key_cache_len(&self) -> usize {
+        self.prepared.lock().expect("prepared lock").len()
     }
 }
 

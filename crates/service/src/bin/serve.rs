@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! cargo run --release -p poneglyph-service --bin poneglyph-serve -- \
-//!     [--port 7117] [--workers 4] [--cache 64] [--k 12] [--duration SECS]
+//!     [--port 7117] [--workers 4] [--cache 64] [--cache-mb 64] [--k 12] \
+//!     [--duration SECS] [--append-every SECS]
 //! ```
 //!
 //! Hosts two small built-in demo databases (the quickstart's employee
@@ -10,6 +11,11 @@
 //! out of the box; a real deployment attaches its own tables. Prints each
 //! database digest a client would check against the commitment registry,
 //! then serves until shut down.
+//!
+//! `--append-every SECS` exercises the v3 mutation path: a background
+//! thread appends one synthetic order row to the orders lineage every
+//! interval, logging each homomorphic commitment update and the successor
+//! digest clients should requery against.
 //!
 //! Shutdown: send `quit` on stdin, or pass `--duration SECS` for a timed
 //! run; either path reports the per-database serving counters. With no
@@ -75,15 +81,18 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: poneglyph-serve [--port N] [--workers N] [--cache N] [--k N] [--duration SECS]"
+            "usage: poneglyph-serve [--port N] [--workers N] [--cache N] [--cache-mb N] \
+             [--k N] [--duration SECS] [--append-every SECS]"
         );
         return;
     }
     let port: u16 = parse_flag(&args, "--port", 7117);
     let workers: usize = parse_flag(&args, "--workers", 2);
     let cache: usize = parse_flag(&args, "--cache", 64);
+    let cache_mb: usize = parse_flag(&args, "--cache-mb", 64);
     let k: u32 = parse_flag(&args, "--k", 12);
     let duration: u64 = parse_flag(&args, "--duration", 0);
+    let append_every: u64 = parse_flag(&args, "--append-every", 0);
 
     eprintln!("deriving public parameters (k = {k}, no trusted setup)...");
     let params = IpaParams::setup(k);
@@ -92,6 +101,7 @@ fn main() {
         ServiceConfig {
             workers,
             cache_capacity: cache,
+            cache_bytes: cache_mb << 20,
             ..ServiceConfig::default()
         },
     ));
@@ -106,10 +116,71 @@ fn main() {
     let server =
         ServiceServer::spawn(Arc::clone(&service), ("127.0.0.1", port)).expect("bind service port");
     eprintln!(
-        "serving protocol v2 on {} with {workers} prover worker(s); \
+        "serving protocol v3 on {} with {workers} prover worker(s); \
          'quit' or stdin EOF (or --duration) to stop",
         server.local_addr()
     );
+
+    if append_every > 0 {
+        // Exercise the mutation path: grow the orders lineage by one row
+        // per interval. The thread tracks the lineage's moving digest; it
+        // is detached and dies with the process.
+        let svc = Arc::clone(&service);
+        std::thread::Builder::new()
+            .name("poneglyph-append".into())
+            .spawn(move || {
+                let mut digest = d_orders;
+                let mut next_id = 17i64;
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(append_every));
+                    let row = vec![next_id, next_id % 4, 10_000 + 731 * next_id];
+                    match svc.append_rows(&digest, "orders", vec![row]) {
+                        Ok(stats) => {
+                            eprintln!(
+                                "append: orders +1 row -> digest {} (epoch {}, \
+                                 commitment update {:?}, {} cached proof(s) invalidated)",
+                                digest_hex(&stats.new_digest[..16]),
+                                stats.epoch,
+                                stats.commit_update,
+                                stats.entries_invalidated,
+                            );
+                            digest = stats.new_digest;
+                            next_id += 1;
+                        }
+                        Err(e) => {
+                            // The lineage moved under us (a TCP client
+                            // appended, or the db was re-attached):
+                            // re-resolve the digest currently hosting an
+                            // orders table and carry on from its row count.
+                            let followed = svc.digests().into_iter().find_map(|d| {
+                                let shape = svc.shape_of(&d)?;
+                                let rows = shape.table("orders")?.len();
+                                Some((d, rows))
+                            });
+                            match followed {
+                                Some((d, rows)) => {
+                                    eprintln!(
+                                        "append target moved ({e}); following the lineage \
+                                         to {}",
+                                        digest_hex(&d[..16])
+                                    );
+                                    digest = d;
+                                    next_id = rows as i64 + 1;
+                                }
+                                None => {
+                                    eprintln!(
+                                        "append failed ({e}) and no orders table is \
+                                         hosted; stopping the append loop"
+                                    );
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn append thread");
+    }
 
     if duration > 0 {
         std::thread::sleep(std::time::Duration::from_secs(duration));
@@ -142,10 +213,18 @@ fn main() {
         "shutdown: {} proof(s) generated, {} cache hit(s), {} cache miss(es)",
         stats.proofs_generated, stats.cache_hits, stats.cache_misses
     );
+    if stats.mutations > 0 {
+        eprintln!(
+            "  {} append batch(es) applied, {} row(s) appended",
+            stats.mutations, stats.rows_appended
+        );
+    }
     for db in &stats.databases {
         eprintln!(
-            "  db {}: {} proven, {} cache hit(s), {} in-flight dedup(s), {} cached proof(s)",
+            "  db {} (epoch {}): {} proven, {} cache hit(s), {} in-flight dedup(s), \
+             {} cached proof(s)",
             digest_hex(&db.digest[..8]),
+            db.epoch,
             db.proofs_generated,
             db.cache_hits,
             db.inflight_dedups,

@@ -1,116 +1,10 @@
-//! A small least-recently-used cache for proof responses.
+//! The service's LRU cache type.
 //!
-//! Proofs are expensive to produce (seconds) and cheap to keep (kilobytes),
-//! so the service keeps the most recently served [`QueryResponse`]s keyed
-//! by `(database digest, plan fingerprint)`. Capacity is small (dozens to
-//! hundreds of entries), so recency bookkeeping uses an O(capacity)
-//! eviction scan rather than an intrusive list — simpler, and invisible
-//! next to multi-second proving times.
+//! The implementation moved to [`poneglyph_core::LruCache`] so the
+//! session layer can reuse it for its bounded key caches; this module
+//! keeps the `poneglyph_service::LruCache` path working. The proof cache
+//! is both entry-capped (`ServiceConfig::cache_capacity`) and
+//! byte-budgeted (`ServiceConfig::cache_bytes`, charged per entry via
+//! `QueryResponse::approx_bytes`).
 
-use std::collections::HashMap;
-use std::hash::Hash;
-
-/// A bounded map evicting the least-recently-*used* entry on overflow.
-#[derive(Debug)]
-pub struct LruCache<K, V> {
-    capacity: usize,
-    map: HashMap<K, (u64, V)>,
-    tick: u64,
-}
-
-impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
-    /// A cache holding at most `capacity` entries. A zero capacity
-    /// disables caching entirely (every `get` misses).
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            capacity,
-            map: HashMap::new(),
-            tick: 0,
-        }
-    }
-
-    /// Look up a key, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &K) -> Option<V> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|(stamp, v)| {
-            *stamp = tick;
-            v.clone()
-        })
-    }
-
-    /// Insert a value, evicting the least-recently-used entry when full.
-    pub fn insert(&mut self, key: K, value: V) {
-        if self.capacity == 0 {
-            return;
-        }
-        self.tick += 1;
-        self.map.insert(key, (self.tick, value));
-        if self.map.len() > self.capacity {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&oldest);
-            }
-        }
-    }
-
-    /// Current number of cached entries.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// True when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Iterate the cached keys (no recency refresh).
-    pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.map.keys()
-    }
-
-    /// Keep only the entries whose key/value satisfy the predicate
-    /// (detaching a database purges its proofs this way).
-    pub fn retain(&mut self, mut f: impl FnMut(&K, &V) -> bool) {
-        self.map.retain(|k, (_, v)| f(k, v));
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn evicts_least_recently_used() {
-        let mut c = LruCache::new(2);
-        c.insert("a", 1);
-        c.insert("b", 2);
-        assert_eq!(c.get(&"a"), Some(1)); // refresh a: b is now oldest
-        c.insert("c", 3);
-        assert_eq!(c.len(), 2);
-        assert_eq!(c.get(&"b"), None);
-        assert_eq!(c.get(&"a"), Some(1));
-        assert_eq!(c.get(&"c"), Some(3));
-    }
-
-    #[test]
-    fn zero_capacity_disables_caching() {
-        let mut c = LruCache::new(0);
-        c.insert("a", 1);
-        assert_eq!(c.get(&"a"), None);
-        assert!(c.is_empty());
-    }
-
-    #[test]
-    fn reinsert_updates_value() {
-        let mut c = LruCache::new(2);
-        c.insert("a", 1);
-        c.insert("a", 9);
-        assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&"a"), Some(9));
-    }
-}
+pub use poneglyph_core::LruCache;

@@ -6,17 +6,26 @@
 //! [`VerifierSession`], so verifying a stream of responses compiles and
 //! keys each query circuit once.
 
+use crate::cache::LruCache;
 use crate::protocol::{
-    encode_sql_request, read_frame, write_frame, ServerInfo, REQ_INFO, REQ_QUERY, REQ_QUERY_DB,
-    REQ_SQL, RESP_ERR, RESP_INFO, RESP_QUERY, RESP_SQL,
+    encode_append_request, encode_sql_request, read_frame, write_frame, AppendAck, ServerInfo,
+    REQ_APPEND, REQ_INFO, REQ_QUERY, REQ_QUERY_DB, REQ_SQL, RESP_APPEND, RESP_ERR, RESP_INFO,
+    RESP_QUERY, RESP_SQL,
 };
 use crate::registry::digest_hex;
 use poneglyph_core::{QueryResponse, SessionStats, VerifierSession};
 use poneglyph_pcs::IpaParams;
 use poneglyph_sql::{plan_from_bytes, plan_to_bytes, Plan, Table, WireError};
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Default bound on a client's per-digest verifier-session map. Mutations
+/// mint a new digest per append, so an unbounded map would leak one
+/// compiled-circuit cache per superseded state; the LRU keeps the hot
+/// lineages and re-derives anything evicted from `REQ_INFO`.
+pub const DEFAULT_SESSION_CAPACITY: usize = 16;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -77,18 +86,29 @@ pub struct ServiceClient {
     cached_info: Option<ServerInfo>,
     /// One verifier session per database digest: cached compiled circuits
     /// and verifying keys survive across queries on this connection.
-    sessions: HashMap<[u8; 64], VerifierSession>,
+    /// LRU-bounded ([`DEFAULT_SESSION_CAPACITY`]) so digest churn from
+    /// server-side mutations cannot grow it without bound.
+    sessions: LruCache<[u8; 64], Arc<VerifierSession>>,
 }
 
 impl ServiceClient {
     /// Connect to a server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with_session_capacity(addr, DEFAULT_SESSION_CAPACITY)
+    }
+
+    /// [`connect`](Self::connect) with an explicit bound on the
+    /// per-digest verifier-session map.
+    pub fn connect_with_session_capacity(
+        addr: impl ToSocketAddrs,
+        capacity: usize,
+    ) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         Ok(Self {
             stream,
             cached_info: None,
-            sessions: HashMap::new(),
+            sessions: LruCache::new(capacity),
         })
     }
 
@@ -128,41 +148,62 @@ impl ServiceClient {
     }
 
     /// The verifier session for one hosted database, creating it from the
-    /// server-advertised shape on first use.
+    /// server-advertised shape on first use (and refreshing the info
+    /// snapshot once when the digest is unknown — it may be a mutation
+    /// successor attached after the cached snapshot).
     fn session_for(
         &mut self,
         params: &IpaParams,
         digest: &[u8; 64],
-    ) -> Result<&VerifierSession, ClientError> {
-        if !self.sessions.contains_key(digest) {
-            let info = self.ensure_info()?;
-            let shape = match info.database(digest) {
-                Some(db) => db.shape_database(),
-                None => {
-                    // The database may have been attached after our cached
-                    // snapshot; refresh once before giving up.
-                    let fresh = self.info()?;
-                    fresh
-                        .database(digest)
-                        .ok_or_else(|| {
-                            ClientError::Server(format!(
-                                "server does not host database {}",
-                                digest_hex(&digest[..16])
-                            ))
-                        })?
-                        .shape_database()
-                }
-            };
-            self.sessions
-                .insert(*digest, VerifierSession::new(params.clone(), shape));
+    ) -> Result<Arc<VerifierSession>, ClientError> {
+        if let Some(session) = self.sessions.get(digest) {
+            return Ok(session);
         }
-        Ok(self.sessions.get(digest).expect("session inserted above"))
+        let info = self.ensure_info()?;
+        let shape = match info.database(digest) {
+            Some(db) => db.shape_database(),
+            None => {
+                // The database may have been attached — or appended to —
+                // after our cached snapshot; refresh once before giving up.
+                let fresh = self.info()?;
+                fresh
+                    .database(digest)
+                    .ok_or_else(|| {
+                        ClientError::Server(format!(
+                            "server does not host database {}",
+                            digest_hex(&digest[..16])
+                        ))
+                    })?
+                    .shape_database()
+            }
+        };
+        let session = Arc::new(VerifierSession::new(params.clone(), shape));
+        self.sessions.insert(*digest, Arc::clone(&session));
+        Ok(session)
     }
 
     /// Work counters of the internal verifier session for `digest`
     /// (compiles / keygens / key-cache hits), if one exists yet.
     pub fn verifier_stats(&self, digest: &[u8; 64]) -> Option<SessionStats> {
-        self.sessions.get(digest).map(|s| s.stats())
+        self.sessions.peek(digest).map(|s| s.stats())
+    }
+
+    /// Number of per-digest verifier sessions currently held.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Drop verifier sessions for digests the server no longer hosts
+    /// (superseded by mutation, or detached), based on a fresh
+    /// [`info`](Self::info) snapshot — each advertised database carries
+    /// its lineage's mutation epoch, so a digest that disappeared has
+    /// been superseded. Returns how many sessions were dropped.
+    pub fn prune_stale_sessions(&mut self) -> Result<usize, ClientError> {
+        let info = self.info()?;
+        let live: HashSet<[u8; 64]> = info.databases.iter().map(|d| d.digest).collect();
+        let before = self.sessions.len();
+        self.sessions.retain(|digest, _| live.contains(digest));
+        Ok(before - self.sessions.len())
     }
 
     fn decode_query_response(body: Vec<u8>) -> Result<WireResponse, ClientError> {
@@ -246,6 +287,34 @@ impl ServiceClient {
                 cache_hit: hit != 0,
             },
         ))
+    }
+
+    /// Append rows to the database addressed by `digest` (protocol v3).
+    ///
+    /// On success the server has swapped in the successor state: the
+    /// returned [`AppendAck`] carries the **new digest** (the target for
+    /// follow-up queries) and the lineage's mutation epoch. The old
+    /// digest's verifier session and the cached info snapshot are dropped
+    /// locally — both describe a superseded committed state.
+    pub fn append_rows(
+        &mut self,
+        digest: &[u8; 64],
+        table: &str,
+        rows: &[Vec<i64>],
+    ) -> Result<AppendAck, ClientError> {
+        let payload = encode_append_request(digest, table, rows)?;
+        let (ty, body) = self.request(REQ_APPEND, &payload)?;
+        if ty != RESP_APPEND {
+            return Err(ClientError::Protocol(format!(
+                "expected append ack, got tag {ty:#04x}"
+            )));
+        }
+        let ack = AppendAck::from_bytes(&body)?;
+        if ack.new_digest != *digest {
+            self.sessions.remove(digest);
+            self.cached_info = None;
+        }
+        Ok(ack)
     }
 
     /// Query the database addressed by `digest` and verify the response

@@ -11,14 +11,17 @@
 //! Three layers, separable and individually testable:
 //!
 //! * [`ProvingService`] — the engine: a digest-addressed
-//!   [`DatabaseRegistry`] (attach/detach at runtime), a bounded job queue
-//!   feeding a pool of prover threads, an LRU proof cache keyed by
+//!   [`DatabaseRegistry`] (attach/detach at runtime, plus
+//!   [`append_rows`](ProvingService::append_rows): homomorphic
+//!   incremental commitment updates with epoch-snapshot retention for
+//!   in-flight queries), a bounded job queue feeding a pool of prover
+//!   threads, an entry- and byte-bounded LRU proof cache keyed by
 //!   `(database digest, plan fingerprint)` with per-database accounting,
 //!   and in-flight deduplication so identical concurrent queries cost one
 //!   proof.
-//! * [`protocol`] — the versioned frame protocol (v2: digest-addressed
-//!   queries, SQL-over-the-wire) and payload codecs shared by server and
-//!   client.
+//! * [`protocol`] — the versioned frame protocol (v3: digest-addressed
+//!   queries, SQL-over-the-wire, row appends with epoch advertisement)
+//!   and payload codecs shared by server and client.
 //! * [`ServiceServer`] / [`ServiceClient`] — a `std::net` TCP front end
 //!   and its matching blocking client (no external dependencies); the
 //!   client verifies through cached per-database verifier sessions.
@@ -52,11 +55,11 @@ mod server;
 mod service;
 
 pub use cache::LruCache;
-pub use client::{ClientError, ServiceClient, WireResponse};
-pub use protocol::{DatabaseInfo, ServerInfo, PROTOCOL_VERSION};
+pub use client::{ClientError, ServiceClient, WireResponse, DEFAULT_SESSION_CAPACITY};
+pub use protocol::{AppendAck, DatabaseInfo, ServerInfo, MAX_APPEND_CELLS, PROTOCOL_VERSION};
 pub use registry::{digest_hex, DatabaseRegistry};
 pub use server::{server_info, ServiceServer};
 pub use service::{
-    CacheKey, DatabaseSnapshot, DatabaseStats, JobHandle, ProvingService, Served, ServiceConfig,
-    ServiceError, ServiceStats,
+    CacheKey, DatabaseSnapshot, DatabaseStats, JobHandle, MutationStats, ProvingService, Served,
+    ServiceConfig, ServiceError, ServiceStats,
 };

@@ -1,4 +1,4 @@
-//! The TCP wire protocol (v2): framing and message payloads.
+//! The TCP wire protocol (v3): framing and message payloads.
 //!
 //! Every message is one frame:
 //!
@@ -19,15 +19,23 @@
 //! * [`REQ_SQL`] — 64-byte database digest, then a u32-length-prefixed
 //!   UTF-8 SQL string. The *server* parses and plans the text (fixing the
 //!   string-dictionary out-of-band problem: literals intern server-side).
+//! * [`REQ_APPEND`] — *new in v3*: 64-byte target digest, table name, and
+//!   a row batch in the canonical cell encoding (row-major `i64`s, bounded
+//!   by [`MAX_APPEND_CELLS`]); asks the server to append the rows and
+//!   advance the database's commitment homomorphically.
 //!
 //! Responses:
-//! * [`RESP_INFO`] — a [`ServerInfo`] (all hosted databases + counters).
+//! * [`RESP_INFO`] — a [`ServerInfo`] (all hosted databases + counters,
+//!   including each lineage's *mutation epoch*, so clients drop stale
+//!   verifier sessions).
 //! * [`RESP_QUERY`] — one cache-hit byte, then a serialized
 //!   [`QueryResponse`](poneglyph_core::QueryResponse). Answers both query
 //!   request forms.
 //! * [`RESP_SQL`] — one cache-hit byte, a u32-length-prefixed canonical
 //!   plan, then a serialized response. The echoed plan is what the server
 //!   proved; the client verifies against exactly it.
+//! * [`RESP_APPEND`] — an [`AppendAck`]: the successor digest now serving
+//!   the lineage, its epoch, and the mutation's accounting.
 //! * [`RESP_ERR`] — a UTF-8 error message.
 //!
 //! Frames are bounded by [`MAX_FRAME`]; a peer announcing a larger payload
@@ -38,7 +46,7 @@ use poneglyph_sql::{write_string, ByteReader, Database, Schema, Table, WireError
 use std::io::{self, Read, Write};
 
 /// Protocol version, carried in [`ServerInfo`].
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hard cap on a frame payload (64 MiB).
 pub const MAX_FRAME: usize = 64 << 20;
@@ -54,6 +62,10 @@ pub const REQ_QUERY_DB: u8 = 0x03;
 /// Client request: plan and prove SQL text against a named database
 /// (payload = 64-byte digest + u32 length + UTF-8 SQL).
 pub const REQ_SQL: u8 = 0x04;
+/// Client request, new in v3: append rows to a named database
+/// (payload = 64-byte digest + table name + u32 width + u32 rows +
+/// row-major i64 cells).
+pub const REQ_APPEND: u8 = 0x05;
 /// Server response to [`REQ_INFO`].
 pub const RESP_INFO: u8 = 0x81;
 /// Server response to [`REQ_QUERY`] / [`REQ_QUERY_DB`]
@@ -62,6 +74,8 @@ pub const RESP_QUERY: u8 = 0x82;
 /// Server response to [`REQ_SQL`]
 /// (cache-hit byte + u32 plan length + plan bytes + response bytes).
 pub const RESP_SQL: u8 = 0x84;
+/// Server response to [`REQ_APPEND`]: an [`AppendAck`].
+pub const RESP_APPEND: u8 = 0x85;
 /// Server response: request failed (UTF-8 message payload).
 pub const RESP_ERR: u8 = 0xFF;
 
@@ -116,6 +130,12 @@ pub const MAX_ADVERTISED_DATABASES: usize = 1 << 12;
 pub struct DatabaseInfo {
     /// The committed database's registry digest.
     pub digest: [u8; 64],
+    /// The lineage's mutation epoch: how many append batches produced
+    /// this digest from the originally attached state. A client holding a
+    /// verifier session for a digest that is no longer advertised — or
+    /// advertised at a different epoch — should drop it: the session is
+    /// bound to a superseded committed state.
+    pub epoch: u64,
     /// Public table shapes: `(name, schema, row count)`.
     pub tables: Vec<(String, Schema, u64)>,
     /// Proofs generated for this database so far.
@@ -144,6 +164,7 @@ impl DatabaseInfo {
 
     fn write(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.digest);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
         for (name, schema, rows) in &self.tables {
             write_string(out, name);
@@ -157,6 +178,7 @@ impl DatabaseInfo {
 
     fn read(r: &mut ByteReader<'_>, total_cells: &mut u64) -> Result<Self, WireError> {
         let digest: [u8; 64] = r.take(64)?.try_into().unwrap();
+        let epoch = r.u64()?;
         let ntables = r.read_len()?;
         let mut tables = Vec::with_capacity(ntables);
         for _ in 0..ntables {
@@ -177,6 +199,7 @@ impl DatabaseInfo {
         let inflight_dedups = r.u64()?;
         Ok(Self {
             digest,
+            epoch,
             tables,
             proofs_generated,
             cache_hits,
@@ -282,6 +305,123 @@ pub fn decode_sql_text(rest: &[u8]) -> Result<String, WireError> {
     Ok(sql)
 }
 
+/// Upper bound on the cells (`rows × width`) of one [`REQ_APPEND`] batch:
+/// 2^22 cells = 32 MiB of `i64`s, comfortably inside [`MAX_FRAME`]. A
+/// larger append is split into multiple batches by the client.
+pub const MAX_APPEND_CELLS: usize = 1 << 22;
+
+/// Encode a [`REQ_APPEND`] payload: target digest, table name, and the
+/// row batch in the canonical cell encoding (u32 width, u32 row count,
+/// row-major little-endian `i64` cells). Rejects ragged batches and
+/// batches beyond [`MAX_APPEND_CELLS`] before anything hits the wire.
+pub fn encode_append_request(
+    digest: &[u8; 64],
+    table: &str,
+    rows: &[Vec<i64>],
+) -> Result<Vec<u8>, WireError> {
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    if rows.iter().any(|r| r.len() != width) {
+        return Err(WireError::Invalid("ragged append batch".into()));
+    }
+    if width == 0 && !rows.is_empty() {
+        // Mirror the decoder: zero-width rows are meaningless and would
+        // only round-trip into a server-side rejection.
+        return Err(WireError::Invalid("zero-width append rows".into()));
+    }
+    let cells = width.saturating_mul(rows.len());
+    if cells > MAX_APPEND_CELLS {
+        return Err(WireError::LengthOverflow(cells));
+    }
+    let mut out = Vec::with_capacity(64 + 4 + table.len() + 8 + cells * 8);
+    out.extend_from_slice(digest);
+    write_string(&mut out, table);
+    out.extend_from_slice(&(width as u32).to_le_bytes());
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        for v in row {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Decode the table name + rows of a [`REQ_APPEND`] payload (after
+/// [`split_digest`]). Bounds the cell count before allocating.
+///
+/// Width and row count are read as raw `u32`s (not `read_len`, whose
+/// 2^20 cap would reject legal batches of up to [`MAX_APPEND_CELLS`]
+/// single-column rows); the cell product is the binding bound.
+pub fn decode_append_request(rest: &[u8]) -> Result<(String, Vec<Vec<i64>>), WireError> {
+    let mut r = ByteReader::new(rest);
+    let table = r.string()?;
+    let width = r.u32()? as usize;
+    let nrows = r.u32()? as usize;
+    if width == 0 && nrows > 0 {
+        return Err(WireError::Invalid("zero-width append rows".into()));
+    }
+    let cells = width.saturating_mul(nrows);
+    if cells > MAX_APPEND_CELLS {
+        return Err(WireError::LengthOverflow(cells));
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(width);
+        for _ in 0..width {
+            row.push(r.i64()?);
+        }
+        rows.push(row);
+    }
+    r.finish()?;
+    Ok((table, rows))
+}
+
+/// The server's acknowledgement of an applied [`REQ_APPEND`]: which
+/// digest now serves the lineage and what the mutation cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppendAck {
+    /// Digest of the successor state — the target for follow-up queries.
+    pub new_digest: [u8; 64],
+    /// The lineage's mutation epoch after the append.
+    pub epoch: u64,
+    /// Rows appended by this batch.
+    pub appended_rows: u64,
+    /// Cached proofs invalidated (exactly the old digest's entries).
+    pub entries_invalidated: u64,
+    /// Microseconds the homomorphic commitment update took server-side.
+    pub commit_update_micros: u64,
+}
+
+impl AppendAck {
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 32);
+        out.extend_from_slice(&self.new_digest);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.appended_rows.to_le_bytes());
+        out.extend_from_slice(&self.entries_invalidated.to_le_bytes());
+        out.extend_from_slice(&self.commit_update_micros.to_le_bytes());
+        out
+    }
+
+    /// Deserialize; clean errors on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let new_digest: [u8; 64] = r.take(64)?.try_into().unwrap();
+        let epoch = r.u64()?;
+        let appended_rows = r.u64()?;
+        let entries_invalidated = r.u64()?;
+        let commit_update_micros = r.u64()?;
+        r.finish()?;
+        Ok(Self {
+            new_digest,
+            epoch,
+            appended_rows,
+            entries_invalidated,
+            commit_update_micros,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +463,7 @@ mod tests {
             databases: vec![
                 DatabaseInfo {
                     digest: [7u8; 64],
+                    epoch: 4,
                     tables: vec![(
                         "t".into(),
                         Schema::new(&[("id", ColumnType::Int), ("val", ColumnType::Decimal)]),
@@ -334,6 +475,7 @@ mod tests {
                 },
                 DatabaseInfo {
                     digest: [9u8; 64],
+                    epoch: 0,
                     tables: vec![("u".into(), Schema::new(&[("x", ColumnType::Int)]), 5)],
                     proofs_generated: 0,
                     cache_hits: 0,
@@ -350,6 +492,7 @@ mod tests {
         assert_eq!(back, info);
         let shape = back.databases[0].shape_database();
         assert_eq!(shape.table("t").unwrap().len(), 42);
+        assert_eq!(back.databases[0].epoch, 4, "mutation epoch advertised");
         assert_eq!(back.database(&[9u8; 64]).unwrap().tables[0].2, 5);
         assert!(back.database(&[1u8; 64]).is_none());
     }
@@ -400,5 +543,91 @@ mod tests {
 
         assert!(split_digest(&payload[..63]).is_err());
         assert!(decode_sql_text(&payload[64..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn append_request_roundtrip() {
+        let digest = [5u8; 64];
+        let rows = vec![vec![7i64, 8, 9], vec![10, 11, 12]];
+        let payload = encode_append_request(&digest, "orders", &rows).expect("encode");
+        let (d, rest) = split_digest(&payload).expect("split");
+        assert_eq!(d, digest);
+        let (table, back) = decode_append_request(rest).expect("decode");
+        assert_eq!(table, "orders");
+        assert_eq!(back, rows);
+
+        // Empty batches encode (the server treats them as a no-op).
+        let payload = encode_append_request(&digest, "orders", &[]).expect("empty");
+        let (_, rest) = split_digest(&payload).expect("split");
+        let (_, back) = decode_append_request(rest).expect("decode");
+        assert!(back.is_empty());
+
+        // Truncated payloads are clean errors.
+        assert!(decode_append_request(&payload[64..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn append_bounds_enforced() {
+        let digest = [5u8; 64];
+        assert!(matches!(
+            encode_append_request(&digest, "t", &[vec![1, 2], vec![3]]),
+            Err(WireError::Invalid(_))
+        ));
+        assert!(
+            matches!(
+                encode_append_request(&digest, "t", &[vec![], vec![]]),
+                Err(WireError::Invalid(_))
+            ),
+            "zero-width rows rejected before the wire, same as the decoder"
+        );
+
+        // A decoded header announcing an absurd cell count is rejected
+        // before allocation.
+        let mut payload = Vec::new();
+        write_string(&mut payload, "t");
+        payload.extend_from_slice(&(1u32 << 19).to_le_bytes()); // width
+        payload.extend_from_slice(&(1u32 << 19).to_le_bytes()); // rows
+        assert!(matches!(
+            decode_append_request(&payload),
+            Err(WireError::LengthOverflow(_))
+        ));
+
+        // Zero-width rows could smuggle an absurd row count past the
+        // cell product; rejected outright.
+        let mut payload = Vec::new();
+        write_string(&mut payload, "t");
+        payload.extend_from_slice(&0u32.to_le_bytes()); // width
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        assert!(matches!(
+            decode_append_request(&payload),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn append_request_allows_many_single_column_rows() {
+        // MAX_APPEND_CELLS single-column rows exceed ByteReader's generic
+        // 2^20 length cap but are legal for appends: the cell product is
+        // the binding bound.
+        let digest = [5u8; 64];
+        let rows: Vec<Vec<i64>> = (0..(1 << 21)).map(|i| vec![i as i64]).collect();
+        let payload = encode_append_request(&digest, "t", &rows).expect("encode");
+        let (_, rest) = split_digest(&payload).expect("split");
+        let (_, back) = decode_append_request(rest).expect("decode");
+        assert_eq!(back.len(), 1 << 21);
+    }
+
+    #[test]
+    fn append_ack_roundtrip() {
+        let ack = AppendAck {
+            new_digest: [0xCD; 64],
+            epoch: 3,
+            appended_rows: 128,
+            entries_invalidated: 7,
+            commit_update_micros: 4242,
+        };
+        let back = AppendAck::from_bytes(&ack.to_bytes()).expect("decode");
+        assert_eq!(back, ack);
+        assert!(AppendAck::from_bytes(&ack.to_bytes()[..90]).is_err());
     }
 }

@@ -4,11 +4,15 @@
 //! A real deployment hosts many databases (one per tenant / snapshot), each
 //! addressed by its commitment digest — the same 64-byte value published to
 //! the immutable commitment registry of §3.3, so a client can name exactly
-//! the database state it wants proofs against. Attach/detach are dynamic;
-//! the first attached database becomes the *default* for the legacy
-//! single-database API.
+//! the database state it wants proofs against. Attach/detach are dynamic,
+//! and a hosted database may *advance*: an append batch produces a
+//! successor entry under a new digest ([`DatabaseRegistry::advance`]),
+//! with the lineage's history kept in a per-digest
+//! [`DeltaLog`](poneglyph_core::DeltaLog). The first attached database
+//! becomes the *default* for the legacy single-database API; the default
+//! follows its lineage across mutations.
 
-use poneglyph_core::ProverSession;
+use poneglyph_core::{DeltaLog, ProverSession};
 use poneglyph_sql::{Catalog, Database};
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU64;
@@ -37,10 +41,13 @@ pub(crate) struct DbEntry {
 ///
 /// Keys are commitment digests (BTreeMap: deterministic iteration order
 /// for `REQ_INFO` listings). One entry may be marked as the default — the
-/// target of the legacy single-database request path.
+/// target of the legacy single-database request path. Each hosted digest
+/// carries the [`DeltaLog`] of its lineage; the log's length is the
+/// database's *mutation epoch* (0 for a freshly attached state).
 #[derive(Default)]
 pub struct DatabaseRegistry {
     entries: BTreeMap<[u8; 64], Arc<DbEntry>>,
+    logs: BTreeMap<[u8; 64], DeltaLog>,
     default_digest: Option<[u8; 64]>,
 }
 
@@ -66,25 +73,61 @@ impl DatabaseRegistry {
     }
 
     /// The default database's digest (the first attached, unless the
-    /// default was detached).
+    /// default was detached; follows its lineage across mutations).
     pub fn default_digest(&self) -> Option<[u8; 64]> {
         self.default_digest
+    }
+
+    /// The mutation epoch of a hosted digest: how many append batches its
+    /// lineage has absorbed (0 for a fresh attach, `None` if not hosted).
+    pub fn epoch_of(&self, digest: &[u8; 64]) -> Option<u64> {
+        self.entries
+            .contains_key(digest)
+            .then(|| self.logs.get(digest).map(DeltaLog::epoch).unwrap_or(0))
+    }
+
+    /// The delta log of a hosted digest's lineage.
+    pub fn log(&self, digest: &[u8; 64]) -> Option<&DeltaLog> {
+        self.logs.get(digest)
     }
 
     pub(crate) fn insert(&mut self, entry: Arc<DbEntry>) -> [u8; 64] {
         let digest = entry.digest;
         // Last attach wins: re-attaching the same committed state swaps in
         // the fresh entry (new catalog/PK metadata), never silently keeps
-        // the old one.
+        // the old one. An existing lineage log for this digest survives.
         self.entries.insert(digest, entry);
+        self.logs.entry(digest).or_default();
         if self.default_digest.is_none() {
             self.default_digest = Some(digest);
         }
         digest
     }
 
+    /// Swap `old_digest`'s entry for its mutated successor, carrying the
+    /// lineage's delta log (already extended with the applied batch) to
+    /// the new digest. The default marker follows the lineage.
+    pub(crate) fn advance(&mut self, old_digest: &[u8; 64], entry: Arc<DbEntry>, log: DeltaLog) {
+        let new_digest = entry.digest;
+        self.entries.remove(old_digest);
+        self.logs.remove(old_digest);
+        self.entries.insert(new_digest, entry);
+        self.logs.insert(new_digest, log);
+        if self.default_digest == Some(*old_digest) {
+            self.default_digest = Some(new_digest);
+        }
+    }
+
+    /// Remove the lineage log for `digest`, to extend during a mutation;
+    /// pair with [`advance`](Self::advance) (which re-inserts it under
+    /// the successor digest).
+    pub(crate) fn take_log(&mut self, digest: &[u8; 64]) -> DeltaLog {
+        self.logs.remove(digest).unwrap_or_default()
+    }
+
     pub(crate) fn remove(&mut self, digest: &[u8; 64]) -> Option<Arc<DbEntry>> {
         let removed = self.entries.remove(digest)?;
+        self.logs.remove(digest);
         if self.default_digest == Some(*digest) {
             // Fall back to the (digest-order) first remaining database.
             self.default_digest = self.entries.keys().next().copied();

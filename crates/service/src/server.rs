@@ -2,8 +2,9 @@
 //! behalf of a [`ProvingService`].
 
 use crate::protocol::{
-    decode_sql_text, read_frame, split_digest, write_frame, DatabaseInfo, ServerInfo, REQ_INFO,
-    REQ_QUERY, REQ_QUERY_DB, REQ_SQL, RESP_ERR, RESP_INFO, RESP_QUERY, RESP_SQL,
+    decode_append_request, decode_sql_text, read_frame, split_digest, write_frame, AppendAck,
+    DatabaseInfo, ServerInfo, REQ_APPEND, REQ_INFO, REQ_QUERY, REQ_QUERY_DB, REQ_SQL, RESP_APPEND,
+    RESP_ERR, RESP_INFO, RESP_QUERY, RESP_SQL,
 };
 use crate::service::{ProvingService, Served, ServiceError};
 use poneglyph_sql::{plan_from_bytes, plan_to_bytes};
@@ -94,6 +95,7 @@ pub fn server_info(service: &ProvingService) -> ServerInfo {
         .into_iter()
         .map(|snap| DatabaseInfo {
             digest: snap.stats.digest,
+            epoch: snap.stats.epoch,
             tables: snap.tables,
             proofs_generated: snap.stats.proofs_generated,
             cache_hits: snap.stats.cache_hits,
@@ -139,6 +141,28 @@ fn handle_connection(service: &ProvingService, mut stream: TcpStream) -> io::Res
             {
                 Ok((digest, plan)) => match service.query_on(&digest, plan) {
                     Ok(served) => write_served(&mut stream, &served)?,
+                    Err(e) => write_error(&mut stream, &e)?,
+                },
+                Err(e) => write_frame(
+                    &mut stream,
+                    RESP_ERR,
+                    format!("bad request: {e}").as_bytes(),
+                )?,
+            },
+            REQ_APPEND => match split_digest(&payload)
+                .and_then(|(digest, rest)| Ok((digest, decode_append_request(rest)?)))
+            {
+                Ok((digest, (table, rows))) => match service.append_rows(&digest, &table, rows) {
+                    Ok(stats) => {
+                        let ack = AppendAck {
+                            new_digest: stats.new_digest,
+                            epoch: stats.epoch,
+                            appended_rows: stats.appended_rows as u64,
+                            entries_invalidated: stats.entries_invalidated as u64,
+                            commit_update_micros: stats.commit_update.as_micros() as u64,
+                        };
+                        write_frame(&mut stream, RESP_APPEND, &ack.to_bytes())?;
+                    }
                     Err(e) => write_error(&mut stream, &e)?,
                 },
                 Err(e) => write_frame(

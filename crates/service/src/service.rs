@@ -14,7 +14,7 @@
 
 use crate::cache::LruCache;
 use crate::registry::{digest_hex, DatabaseRegistry, DbEntry};
-use poneglyph_core::{ProverSession, QueryResponse};
+use poneglyph_core::{AppliedDelta, DeltaLog, ProverSession, QueryResponse, RowBatch};
 use poneglyph_pcs::IpaParams;
 use poneglyph_sql::{
     canonical_plan, canonical_plan_fingerprint, catalog_of, parse, plan_query, Database, Plan,
@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The proof-cache key: which database state, which (canonical) query.
 pub type CacheKey = ([u8; 64], [u8; 32]);
@@ -38,6 +39,11 @@ pub struct ServiceConfig {
     /// Maximum number of cached [`QueryResponse`]s (shared across all
     /// hosted databases).
     pub cache_capacity: usize,
+    /// Approximate byte budget of the proof cache (each entry is charged
+    /// [`QueryResponse::approx_bytes`]); least-recently-used responses are
+    /// evicted once the total exceeds it. `0` disables the byte bound —
+    /// only `cache_capacity` applies.
+    pub cache_bytes: usize,
     /// Bound of the job queue; submissions beyond it block (or are
     /// rejected by [`ProvingService::try_submit`]).
     pub queue_depth: usize,
@@ -52,6 +58,7 @@ impl Default for ServiceConfig {
                 .map(|v| v.get().min(4))
                 .unwrap_or(2),
             cache_capacity: 64,
+            cache_bytes: 64 << 20,
             queue_depth: 64,
             seed: 0x706f_6e65,
         }
@@ -74,6 +81,9 @@ pub enum ServiceError {
     NoDatabase,
     /// SQL text failed to parse or plan.
     Sql(String),
+    /// A mutation batch was rejected (unknown table, width mismatch,
+    /// out-of-range value); the hosted state is unchanged.
+    Mutation(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -85,6 +95,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownDatabase(d) => write!(f, "no database with digest {d}"),
             ServiceError::NoDatabase => write!(f, "no database attached"),
             ServiceError::Sql(e) => write!(f, "SQL error: {e}"),
+            ServiceError::Mutation(e) => write!(f, "mutation rejected: {e}"),
         }
     }
 }
@@ -108,6 +119,9 @@ pub struct Served {
 pub struct DatabaseStats {
     /// The database's commitment digest.
     pub digest: [u8; 64],
+    /// The lineage's mutation epoch (number of append batches absorbed;
+    /// 0 for a freshly attached state).
+    pub epoch: u64,
     /// Proofs generated for this database.
     pub proofs_generated: u64,
     /// Queries answered from the proof cache.
@@ -117,6 +131,27 @@ pub struct DatabaseStats {
     pub inflight_dedups: u64,
     /// Responses currently held in the proof cache for this database.
     pub cached_proofs: u64,
+}
+
+/// The outcome of one applied append batch — returned by
+/// [`ProvingService::append_rows`] and surfaced in the wire protocol's
+/// append acknowledgement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutationStats {
+    /// The digest the batch was applied against.
+    pub old_digest: [u8; 64],
+    /// The successor digest now serving the lineage (equal to
+    /// `old_digest` for an empty batch, which is a no-op).
+    pub new_digest: [u8; 64],
+    /// The lineage's mutation epoch after the append.
+    pub epoch: u64,
+    /// Rows appended by this batch.
+    pub appended_rows: usize,
+    /// Wall-clock cost of the homomorphic commitment update (the O(delta)
+    /// MSM + digest recompute — the cost a full re-commit would multiply).
+    pub commit_update: Duration,
+    /// Cached proofs invalidated — exactly the old digest's entries.
+    pub entries_invalidated: usize,
 }
 
 /// One hosted database's advertisement data (a consistent row of
@@ -138,6 +173,12 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Queries that missed the cache.
     pub cache_misses: u64,
+    /// Append batches applied across all hosted databases.
+    pub mutations: u64,
+    /// Rows appended across all hosted databases.
+    pub rows_appended: u64,
+    /// Approximate bytes currently held by the proof cache.
+    pub cache_bytes: u64,
     /// Per-database breakdown, in digest order.
     pub databases: Vec<DatabaseStats>,
 }
@@ -158,6 +199,8 @@ struct Shared {
     proofs_generated: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    mutations: AtomicU64,
+    rows_appended: AtomicU64,
 }
 
 /// A handle to one submitted query; resolve it with [`JobHandle::wait`].
@@ -196,12 +239,17 @@ impl ProvingService {
         let shared = Arc::new(Shared {
             params,
             registry: RwLock::new(DatabaseRegistry::new()),
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache: Mutex::new(LruCache::with_byte_budget(
+                config.cache_capacity,
+                config.cache_bytes,
+            )),
             inflight: Mutex::new(HashSet::new()),
             inflight_done: Condvar::new(),
             proofs_generated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            rows_appended: AtomicU64::new(0),
         });
         let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -262,6 +310,163 @@ impl ProvingService {
             .write()
             .expect("registry lock")
             .insert(entry)
+    }
+
+    /// Append a batch of rows to the database addressed by `digest` — the
+    /// mutable-state path. The column commitments are advanced
+    /// *homomorphically* (one MSM over only the new rows' cells, cost
+    /// O(batch) instead of a full re-commit), a successor entry is swapped
+    /// in under the new digest atomically (registry write lock), and
+    /// exactly the old digest's cached proofs are purged.
+    ///
+    /// Epoch-style snapshot retention: jobs already submitted against the
+    /// old digest hold an `Arc` of its entry and complete — and verify —
+    /// against that retained snapshot; the entry is freed when its last
+    /// in-flight job finishes. New queries naming the old digest are
+    /// rejected (`UnknownDatabase`), exactly as a detach would.
+    ///
+    /// The heavy work (database clone, MSM) runs without the registry
+    /// lock; only the final swap takes the write lock, and it lands only
+    /// if the lineage has not moved meanwhile (a concurrent append or
+    /// detach of the same digest is a clean `Mutation` error — re-resolve
+    /// and retry).
+    ///
+    /// An empty batch is a no-op: same digest, nothing invalidated, no
+    /// epoch advance. A rejected batch (unknown table, width mismatch,
+    /// out-of-range value) changes nothing.
+    pub fn append_rows(
+        &self,
+        digest: &[u8; 64],
+        table: &str,
+        rows: Vec<Vec<i64>>,
+    ) -> Result<MutationStats, ServiceError> {
+        let batch = RowBatch::new(table, rows);
+        // Resolve and validate under the *read* lock; the expensive part
+        // of the mutation (database clone + homomorphic MSM) runs with no
+        // registry lock held, so query submission never stalls behind it.
+        let entry = self.resolve(digest)?;
+        batch
+            .validate(entry.session.database())
+            .map_err(|e| ServiceError::Mutation(e.to_string()))?;
+        if batch.rows.is_empty() {
+            let epoch = self.epoch_of(digest).unwrap_or(0);
+            return Ok(MutationStats {
+                old_digest: *digest,
+                new_digest: *digest,
+                epoch,
+                appended_rows: 0,
+                commit_update: Duration::ZERO,
+                entries_invalidated: 0,
+            });
+        }
+
+        // Build the successor state: cloned values plus a homomorphically
+        // advanced commitment.
+        let mut db = entry.session.database().clone();
+        let mut commitment = entry.session.commitment().clone();
+        batch
+            .apply(&mut db)
+            .map_err(|e| ServiceError::Mutation(e.to_string()))?;
+        let started = Instant::now();
+        let delta_commitments = commitment
+            .append_rows(&self.shared.params, &batch.table, &batch.rows)
+            .map_err(|e| ServiceError::Mutation(e.to_string()))?;
+        let new_digest = commitment.digest();
+        let commit_update = started.elapsed();
+
+        // Seeding the session with the updated commitment is what makes
+        // the append O(batch); debug builds re-assert it equals a fresh
+        // commit of the mutated database.
+        let session = ProverSession::with_commitment(self.shared.params.clone(), db, commitment);
+        let shape = session.shape();
+        let successor = Arc::new(DbEntry {
+            digest: new_digest,
+            session,
+            shape,
+            catalog: entry.catalog.clone(),
+            proofs_generated: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            inflight_dedups: AtomicU64::new(0),
+        });
+
+        // Swap under a short write lock. The lineage may have moved while
+        // we worked (concurrent append, detach, re-attach): the swap only
+        // lands if the digest still names the entry we started from —
+        // otherwise the commitment we advanced is stale and the caller
+        // must re-resolve and retry.
+        let epoch = {
+            let mut registry = self.shared.registry.write().expect("registry lock");
+            match registry.get(digest) {
+                Some(current) if Arc::ptr_eq(&current, &entry) => {
+                    let mut log = registry.take_log(digest);
+                    log.record(AppliedDelta {
+                        seq: log.epoch(),
+                        table: batch.table.clone(),
+                        rows: batch.rows.len(),
+                        delta_commitments,
+                        pre_digest: *digest,
+                        post_digest: new_digest,
+                    });
+                    let epoch = log.epoch();
+                    registry.advance(digest, successor, log);
+                    epoch
+                }
+                _ => {
+                    return Err(ServiceError::Mutation(format!(
+                        "database {} was mutated or detached concurrently; \
+                         re-resolve and retry",
+                        digest_hex(&digest[..16])
+                    )))
+                }
+            }
+        };
+
+        // Purge precisely the old digest's cache entries; every other
+        // database's proofs survive. (In-flight old-digest jobs cannot
+        // re-populate: `serve_one` re-checks the registry before caching.)
+        let mut entries_invalidated = 0usize;
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .retain(|key, _| {
+                let stale = key.0 == *digest;
+                entries_invalidated += usize::from(stale);
+                !stale
+            });
+        self.shared.mutations.fetch_add(1, Ordering::SeqCst);
+        self.shared
+            .rows_appended
+            .fetch_add(batch.rows.len() as u64, Ordering::SeqCst);
+
+        Ok(MutationStats {
+            old_digest: *digest,
+            new_digest,
+            epoch,
+            appended_rows: batch.rows.len(),
+            commit_update,
+            entries_invalidated,
+        })
+    }
+
+    /// The mutation epoch of a hosted digest (0 = freshly attached).
+    pub fn epoch_of(&self, digest: &[u8; 64]) -> Option<u64> {
+        self.shared
+            .registry
+            .read()
+            .expect("registry lock")
+            .epoch_of(digest)
+    }
+
+    /// The append history of a hosted digest's lineage: every applied
+    /// batch with its mini-commitment and digest transition.
+    pub fn delta_log(&self, digest: &[u8; 64]) -> Option<DeltaLog> {
+        self.shared
+            .registry
+            .read()
+            .expect("registry lock")
+            .log(digest)
+            .cloned()
     }
 
     /// Stop hosting a database; its cached proofs are purged. Returns
@@ -441,10 +646,14 @@ impl ProvingService {
         let registry = self.shared.registry.read().expect("registry lock");
         let databases = self.collect_database_stats(&registry);
         drop(registry);
+        let cache_bytes = self.shared.cache.lock().expect("cache lock").total_bytes() as u64;
         ServiceStats {
             proofs_generated: self.shared.proofs_generated.load(Ordering::SeqCst),
             cache_hits: self.shared.cache_hits.load(Ordering::SeqCst),
             cache_misses: self.shared.cache_misses.load(Ordering::SeqCst),
+            mutations: self.shared.mutations.load(Ordering::SeqCst),
+            rows_appended: self.shared.rows_appended.load(Ordering::SeqCst),
+            cache_bytes,
             databases,
         }
     }
@@ -489,6 +698,7 @@ impl ProvingService {
             .entries()
             .map(|entry| DatabaseStats {
                 digest: entry.digest,
+                epoch: registry.epoch_of(&entry.digest).unwrap_or(0),
                 proofs_generated: entry.proofs_generated.load(Ordering::SeqCst),
                 cache_hits: entry.cache_hits.load(Ordering::SeqCst),
                 inflight_dedups: entry.inflight_dedups.load(Ordering::SeqCst),
@@ -594,11 +804,13 @@ fn serve_one(
         // leaves nothing in the cache.
         let registry = shared.registry.read().expect("registry lock");
         if registry.get(&entry.digest).is_some() {
-            shared
-                .cache
-                .lock()
-                .expect("cache lock")
-                .insert(key, Arc::clone(response));
+            // Weighted by approximate wire size: the cache's byte budget
+            // bounds memory, not just entry count.
+            shared.cache.lock().expect("cache lock").insert_weighted(
+                key,
+                Arc::clone(response),
+                response.approx_bytes(),
+            );
         }
         drop(registry);
     }
@@ -830,6 +1042,193 @@ mod tests {
             .query(filter_plan(20))
             .expect("query after re-attach");
         assert!(served.cache_hit);
+    }
+
+    #[test]
+    fn append_advances_digest_and_invalidates_precisely() {
+        let params = IpaParams::setup(11);
+        let service = ProvingService::empty(params.clone(), ServiceConfig::default());
+        let d1 = service.attach(tiny_db());
+        let d2 = service.attach(other_db());
+
+        // Warm the cache on both databases.
+        service.query_on(&d1, filter_plan(20)).expect("db1");
+        service.query_on(&d2, filter_plan(20)).expect("db2");
+        assert_eq!(service.stats().proofs_generated, 2);
+
+        let stats = service
+            .append_rows(&d1, "t", vec![vec![5, 50], vec![6, 60]])
+            .expect("append");
+        assert_eq!(stats.old_digest, d1);
+        assert_ne!(stats.new_digest, d1, "append moves the digest");
+        assert_eq!(stats.appended_rows, 2);
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(
+            stats.entries_invalidated, 1,
+            "exactly the old digest's cached proof is purged"
+        );
+
+        // The old digest is gone; the successor serves (one more row in
+        // the result) and verifies against its advertised shape.
+        assert!(matches!(
+            service.query_on(&d1, filter_plan(20)),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        let served = service
+            .query_on(&stats.new_digest, filter_plan(20))
+            .expect("query successor");
+        assert!(!served.cache_hit);
+        assert_eq!(served.response.result.len(), 5, "3 old rows + 2 appended");
+        let verifier = VerifierSession::new(
+            params.clone(),
+            service.shape_of(&stats.new_digest).expect("shape"),
+        );
+        assert!(verifier.verify(&filter_plan(20), &served.response).is_ok());
+
+        // The *other* database's cache entry survived.
+        assert!(
+            service
+                .query_on(&d2, filter_plan(20))
+                .expect("db2")
+                .cache_hit
+        );
+
+        // Lineage accounting: epoch, delta log chain, service counters.
+        assert_eq!(service.epoch_of(&stats.new_digest), Some(1));
+        assert_eq!(service.epoch_of(&d2), Some(0));
+        let log = service.delta_log(&stats.new_digest).expect("log");
+        assert_eq!(log.epoch(), 1);
+        assert_eq!(log.entries()[0].pre_digest, d1);
+        assert_eq!(log.entries()[0].post_digest, stats.new_digest);
+        assert_eq!(log.entries()[0].rows, 2);
+        let svc_stats = service.stats();
+        assert_eq!(svc_stats.mutations, 1);
+        assert_eq!(svc_stats.rows_appended, 2);
+
+        // The default followed the lineage (d1 was the first attach).
+        assert_eq!(service.default_digest(), Some(stats.new_digest));
+
+        // A second append chains onto the new digest.
+        let stats2 = service
+            .append_rows(&stats.new_digest, "t", vec![vec![7, 70]])
+            .expect("second append");
+        assert_eq!(stats2.epoch, 2);
+        let log = service.delta_log(&stats2.new_digest).expect("log");
+        assert_eq!(log.entries()[1].pre_digest, stats.new_digest);
+    }
+
+    #[test]
+    fn append_rejections_change_nothing() {
+        let service =
+            ProvingService::new(IpaParams::setup(11), tiny_db(), ServiceConfig::default());
+        let digest = service.digest();
+
+        assert!(matches!(
+            service.append_rows(&[9u8; 64], "t", vec![vec![1, 2]]),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        assert!(matches!(
+            service.append_rows(&digest, "nope", vec![vec![1, 2]]),
+            Err(ServiceError::Mutation(_))
+        ));
+        assert!(matches!(
+            service.append_rows(&digest, "t", vec![vec![1]]),
+            Err(ServiceError::Mutation(_))
+        ));
+        assert!(matches!(
+            service.append_rows(&digest, "t", vec![vec![-1, 2]]),
+            Err(ServiceError::Mutation(_))
+        ));
+
+        // An empty batch is a no-op, not a new state.
+        let stats = service.append_rows(&digest, "t", vec![]).expect("empty");
+        assert_eq!(stats.new_digest, digest);
+        assert_eq!(stats.epoch, 0);
+        assert_eq!(service.stats().mutations, 0);
+        assert_eq!(service.digests(), vec![digest]);
+    }
+
+    #[test]
+    fn in_flight_query_completes_against_retained_snapshot() {
+        let params = IpaParams::setup(11);
+        let service = ProvingService::new(
+            params.clone(),
+            tiny_db(),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let d1 = service.digest();
+        let old_shape = service.shape_of(&d1).expect("shape");
+
+        // Submit resolves the entry Arc *now*; the append below swaps the
+        // registry before (or while) the worker proves.
+        let handle = service.submit_on(&d1, filter_plan(20)).expect("submit");
+        let stats = service
+            .append_rows(&d1, "t", vec![vec![5, 50]])
+            .expect("append");
+        assert_ne!(stats.new_digest, d1);
+
+        // The pre-append job still completes — against the old snapshot —
+        // and verifies under the old shape.
+        let served = handle.wait().expect("pre-append job");
+        assert_eq!(served.response.result.len(), 3, "old state: 3 matches");
+        let old_verifier = VerifierSession::new(params.clone(), old_shape);
+        assert!(old_verifier
+            .verify(&filter_plan(20), &served.response)
+            .is_ok());
+
+        // Its proof was *not* cached under the dead digest: a fresh query
+        // on the successor proves anew, and the cache holds only live
+        // digests.
+        let successor = service
+            .query_on(&stats.new_digest, filter_plan(20))
+            .expect("successor query");
+        assert!(!successor.cache_hit);
+        let db_stats = service.stats().databases;
+        assert_eq!(db_stats.len(), 1);
+        assert_eq!(db_stats[0].digest, stats.new_digest);
+        assert_eq!(db_stats[0].cached_proofs, 1);
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_proof_cache() {
+        // A 1-byte budget rejects every response: identical queries must
+        // re-prove (nothing fits), and the byte accounting stays at zero.
+        let service = ProvingService::new(
+            IpaParams::setup(11),
+            tiny_db(),
+            ServiceConfig {
+                cache_bytes: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        assert!(!service.query(filter_plan(20)).expect("first").cache_hit);
+        assert!(!service.query(filter_plan(20)).expect("second").cache_hit);
+        let stats = service.stats();
+        assert_eq!(stats.proofs_generated, 2);
+        assert_eq!(stats.cache_bytes, 0);
+        assert_eq!(stats.databases[0].cached_proofs, 0);
+
+        // A generous budget caches normally and reports the bytes held.
+        let service = ProvingService::new(
+            IpaParams::setup(11),
+            tiny_db(),
+            ServiceConfig {
+                cache_bytes: 64 << 20,
+                ..ServiceConfig::default()
+            },
+        );
+        let first = service.query(filter_plan(20)).expect("first");
+        assert!(service.query(filter_plan(20)).expect("second").cache_hit);
+        let stats = service.stats();
+        assert_eq!(stats.proofs_generated, 1);
+        assert_eq!(
+            stats.cache_bytes,
+            first.response.approx_bytes() as u64,
+            "cache charges each entry its approximate wire size"
+        );
     }
 
     #[test]

@@ -42,8 +42,9 @@ pub use poneglyph_tpch as tpch;
 /// The most common imports for applications.
 pub mod prelude {
     pub use poneglyph_core::{
-        check_query, database_shape, CommitmentRegistry, DatabaseCommitment, ProverSession,
-        QueryResponse, SessionStats, VerifierSession,
+        apply_append, check_query, database_shape, AppliedDelta, CommitmentRegistry,
+        DatabaseCommitment, DeltaLog, MutationError, ProverSession, QueryResponse, RowBatch,
+        SessionStats, VerifierSession,
     };
     #[allow(deprecated)] // one-shot wrappers: kept importable through 0.2
     pub use poneglyph_core::{prove_query, verify_query};
