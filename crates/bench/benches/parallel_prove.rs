@@ -1,0 +1,77 @@
+//! Intra-proof parallelism: cold prove latency at 1/2/4/8 prover threads
+//! for a TPC-H-shaped filter + group-by aggregate at the largest circuit
+//! size the bench suite uses (k = 11, matching `fig10_scaling` /
+//! `service_*`). "Cold" is the paper's metric: a fresh session per proof,
+//! so keygen and proving both count and nothing is amortized.
+//!
+//! The proof bytes are identical at every thread count (the determinism
+//! invariant); only latency changes. `PONEGLYPH_SCALE`-style env tuning is
+//! deliberately not used here — the row count is pinned so the budget is
+//! the only variable.
+use criterion::{criterion_group, criterion_main, Criterion};
+use poneglyph_bench::rng;
+use poneglyph_core::{Parallelism, ProverSession};
+use poneglyph_pcs::IpaParams;
+use poneglyph_sql::{AggFunc, Aggregate, CmpOp, Plan, Predicate, ScalarExpr};
+use poneglyph_tpch::generate;
+
+fn tpch_plan() -> Plan {
+    Plan::Aggregate {
+        input: Box::new(Plan::Filter {
+            input: Box::new(Plan::Scan {
+                table: "lineitem".into(),
+            }),
+            predicates: vec![Predicate::ColConst {
+                col: 4,
+                op: CmpOp::Lt,
+                value: 24,
+            }],
+        }),
+        group_by: vec![8],
+        aggs: vec![(
+            "s".into(),
+            Aggregate {
+                func: AggFunc::Sum,
+                input: ScalarExpr::Col(4),
+            },
+        )],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // 1700 lineitem rows drive this plan to a k = 11 circuit — the
+    // largest capacity any bench in the suite sets up (`fig10_scaling`,
+    // `service_*` all use `IpaParams::setup(11)`).
+    let db = generate(1700);
+    let params = IpaParams::setup(11);
+    let plan = tpch_plan();
+
+    // Pin the circuit size so every budget proves the same circuit, and
+    // report it once (the acceptance metric is the speedup at this k).
+    let probe = ProverSession::new(params.clone(), db.clone())
+        .with_parallelism(Parallelism::serial())
+        .prove(&plan, &mut rng())
+        .expect("probe prove");
+    println!("parallel_prove circuit size: k = {}", probe.k);
+    assert_eq!(probe.k, 11, "row count must pin the largest suite k");
+
+    let mut g = c.benchmark_group("parallel_prove");
+    g.sample_size(3);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("cold_prove_{threads}_threads"), |b| {
+            b.iter(|| {
+                // Cold semantics: fresh session (fresh keygen) per proof.
+                let response = ProverSession::new(params.clone(), db.clone())
+                    .with_parallelism(Parallelism::new(threads))
+                    .prove(&plan, &mut rng())
+                    .expect("prove");
+                assert_eq!(response.k, probe.k, "budget must not change the circuit");
+                response
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -29,6 +29,7 @@ pub use db::{
 pub use db::{prove_query, verify_query};
 pub use encode::{decode, encode, encode_fq, MAX_VALUE, VALUE_BOUND, VALUE_BYTES};
 pub use mutate::{apply_append, AppliedDelta, DeltaLog, MutationError, RowBatch};
+pub use poneglyph_par::Parallelism;
 pub use session::{ProverSession, SessionStats, VerifierSession, DEFAULT_KEY_CACHE_CAPACITY};
 pub use wire::{
     column_type_byte, column_type_from_byte, read_schema, read_table, write_schema, write_table,

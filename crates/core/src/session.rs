@@ -35,9 +35,10 @@ use crate::db::{database_shape, DatabaseCommitment, DbError, QueryResponse};
 use crate::encode::decode;
 use poneglyph_arith::{Fq, PrimeField};
 use poneglyph_hash::Transcript;
+use poneglyph_par::Parallelism;
 use poneglyph_pcs::{IpaAccumulator, IpaParams};
 use poneglyph_plonkish::{
-    keygen_pk, keygen_vk, prove, verify, verify_accumulate, ProvingKey, VerifyingKey,
+    keygen_pk_with, keygen_vk, prove_timed, verify, verify_accumulate, ProvingKey, VerifyingKey,
 };
 use poneglyph_sql::{
     canonical_plan, canonical_plan_fingerprint, execute, Database, Plan, Schema, Table,
@@ -65,12 +66,25 @@ pub struct SessionStats {
     pub keygens: u64,
     /// Queries answered from the session's key cache without keygen.
     pub key_cache_hits: u64,
+    /// Nanoseconds this session's proofs spent in the prover's *commit*
+    /// stage (witness interpolation, lookup construction, grand products,
+    /// pre-quotient commitments). Always 0 for a [`VerifierSession`].
+    pub commit_nanos: u64,
+    /// Nanoseconds spent in the *quotient* stage (coset extension,
+    /// constraint accumulation, quotient commitments).
+    pub quotient_nanos: u64,
+    /// Nanoseconds spent in the *open* stage (schedule evaluations and
+    /// batched IPA openings).
+    pub open_nanos: u64,
 }
 
 struct StatCounters {
     compiles: AtomicU64,
     keygens: AtomicU64,
     key_cache_hits: AtomicU64,
+    commit_nanos: AtomicU64,
+    quotient_nanos: AtomicU64,
+    open_nanos: AtomicU64,
 }
 
 impl StatCounters {
@@ -79,6 +93,9 @@ impl StatCounters {
             compiles: AtomicU64::new(0),
             keygens: AtomicU64::new(0),
             key_cache_hits: AtomicU64::new(0),
+            commit_nanos: AtomicU64::new(0),
+            quotient_nanos: AtomicU64::new(0),
+            open_nanos: AtomicU64::new(0),
         }
     }
 
@@ -87,6 +104,9 @@ impl StatCounters {
             compiles: self.compiles.load(Ordering::SeqCst),
             keygens: self.keygens.load(Ordering::SeqCst),
             key_cache_hits: self.key_cache_hits.load(Ordering::SeqCst),
+            commit_nanos: self.commit_nanos.load(Ordering::SeqCst),
+            quotient_nanos: self.quotient_nanos.load(Ordering::SeqCst),
+            open_nanos: self.open_nanos.load(Ordering::SeqCst),
         }
     }
 }
@@ -110,6 +130,9 @@ pub struct ProverSession {
     params: IpaParams,
     db: Database,
     commitment: OnceLock<DatabaseCommitment>,
+    /// Per-proof thread budget for key generation and proving; threaded
+    /// down through the plonkish prover to the FFT and MSM layers.
+    parallelism: Parallelism,
     /// One init-once slot per canonical fingerprint (see
     /// [`VerifierSession::prepared`] for why: concurrent first-time
     /// queries must not duplicate the keygen), LRU-bounded.
@@ -131,9 +154,23 @@ impl ProverSession {
             params,
             db,
             commitment: OnceLock::new(),
+            parallelism: Parallelism::auto(),
             keys: Mutex::new(LruCache::new(capacity)),
             stats: StatCounters::new(),
         }
+    }
+
+    /// Set the per-proof thread budget (builder style). Proof bytes do not
+    /// depend on the budget — only latency does — so sessions at different
+    /// budgets are interchangeable.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The session's per-proof thread budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Open a session over a database whose commitment is *already known*
@@ -235,7 +272,7 @@ impl ProverSession {
             initialized_here = true;
             self.stats.keygens.fetch_add(1, Ordering::SeqCst);
             let params_k = self.params.truncate(k);
-            let pk = keygen_pk(&params_k, &compiled.cs, &compiled.asn);
+            let pk = keygen_pk_with(&params_k, &compiled.cs, &compiled.asn, self.parallelism);
             Arc::new(ProverKeyEntry { params_k, pk })
         });
         if !initialized_here {
@@ -252,8 +289,23 @@ impl ProverSession {
         let entry = Arc::clone(entry);
 
         let instance = compiled.instance.clone();
-        let proof = prove(&entry.params_k, &entry.pk, compiled.asn, rng)
-            .map_err(|e| DbError::Prove(e.to_string()))?;
+        let (proof, timings) = prove_timed(
+            &entry.params_k,
+            &entry.pk,
+            compiled.asn,
+            rng,
+            self.parallelism,
+        )
+        .map_err(|e| DbError::Prove(e.to_string()))?;
+        self.stats
+            .commit_nanos
+            .fetch_add(timings.commit.as_nanos() as u64, Ordering::SeqCst);
+        self.stats
+            .quotient_nanos
+            .fetch_add(timings.quotient.as_nanos() as u64, Ordering::SeqCst);
+        self.stats
+            .open_nanos
+            .fetch_add(timings.open.as_nanos() as u64, Ordering::SeqCst);
         Ok(QueryResponse {
             result,
             instance,

@@ -6,6 +6,7 @@
 
 use crate::pallas::{Pallas, PallasAffine};
 use poneglyph_arith::{Fq, PrimeField};
+use poneglyph_par::Parallelism;
 
 /// Window size heuristic (bits per bucket pass).
 fn window_size(n: usize) -> usize {
@@ -19,10 +20,19 @@ fn window_size(n: usize) -> usize {
     }
 }
 
-/// Computes `sum_i scalars[i] * bases[i]`.
+/// Computes `sum_i scalars[i] * bases[i]` under the auto-detected thread
+/// budget.
 ///
 /// Panics if the slices have different lengths.
 pub fn msm(scalars: &[Fq], bases: &[PallasAffine]) -> Pallas {
+    msm_with(scalars, bases, Parallelism::auto())
+}
+
+/// [`msm`] under an explicit thread budget: Pippenger windows are split
+/// across at most `par.threads()` scoped workers (serial budget = no
+/// spawns). The result is identical at any budget — window sums combine
+/// by exact group addition.
+pub fn msm_with(scalars: &[Fq], bases: &[PallasAffine], par: Parallelism) -> Pallas {
     assert_eq!(
         scalars.len(),
         bases.len(),
@@ -75,10 +85,7 @@ pub fn msm(scalars: &[Fq], bases: &[PallasAffine]) -> Pallas {
         acc
     };
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(num_windows);
+    let threads = par.threads().min(num_windows);
 
     let mut sums = vec![Pallas::identity(); num_windows];
     if threads <= 1 {
@@ -134,6 +141,25 @@ mod tests {
             let scalars: Vec<Fq> = (0..n).map(|_| Fq::random(&mut rng)).collect();
             assert_eq!(msm(&scalars, &bases), naive(&scalars, &bases), "n={n}");
         }
+    }
+
+    #[test]
+    fn msm_identical_at_every_budget() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Pallas::generator();
+        let bases: Vec<PallasAffine> = (0..200)
+            .map(|_| g.mul(&Fq::random(&mut rng)).to_affine())
+            .collect();
+        let scalars: Vec<Fq> = (0..200).map(|_| Fq::random(&mut rng)).collect();
+        let reference = msm_with(&scalars, &bases, Parallelism::serial());
+        for threads in [2usize, 3, 8] {
+            assert_eq!(
+                msm_with(&scalars, &bases, Parallelism::new(threads)),
+                reference,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(msm(&scalars, &bases), reference);
     }
 
     #[test]

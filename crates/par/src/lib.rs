@@ -1,0 +1,273 @@
+//! # poneglyph-par
+//!
+//! Scoped-thread data-parallelism for the proving pipeline.
+//!
+//! The prover's hot path (FFTs, multi-scalar multiplications, quotient
+//! accumulation, IPA folding) is embarrassingly parallel, but the service
+//! layer already runs one worker thread per concurrent query — so
+//! *how many* threads one proof may use is a deployment decision, not a
+//! hardware constant. This crate provides the [`Parallelism`] budget type
+//! that is threaded from `ServiceConfig` down to the curve layer, plus the
+//! scoped-thread helpers every crate in the stack shares. No external
+//! dependencies, no work-stealing runtime: plain `std::thread::scope`
+//! fork/join over contiguous chunks, which is exactly the right shape for
+//! the fixed-size vector math a proof is made of.
+//!
+//! **Determinism:** every helper splits work into contiguous index ranges
+//! and writes each output cell from exactly one worker. Field arithmetic
+//! is exact, so re-associating sums across chunk boundaries cannot change
+//! a result — proofs are byte-identical at every thread count (the
+//! serial-transcript invariant lives in the prover, which keeps all
+//! randomness draws and transcript absorption outside parallel regions).
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+/// Environment variable overriding [`Parallelism::auto`] (0 or unset =
+/// hardware parallelism). CI pins this to `1` to keep the serial fallback
+/// path covered alongside the default parallel run.
+pub const THREADS_ENV: &str = "PONEGLYPH_PROVER_THREADS";
+
+/// The per-proof thread budget, resolved to a concrete thread count.
+///
+/// Constructed once at the edge (service config, CLI flag, bench loop) and
+/// passed down by value through every stage of the proving pipeline.
+/// `Parallelism::new(0)` / [`Parallelism::auto`] resolve to the
+/// [`THREADS_ENV`] override if set, else the machine's available
+/// parallelism; any other value is taken literally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+fn hardware_threads() -> usize {
+    static RESOLVED: OnceLock<usize> = OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        let env = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        if env > 0 {
+            return env;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+impl Parallelism {
+    /// The auto-detected budget: [`THREADS_ENV`] if set and nonzero, else
+    /// the machine's available parallelism (resolved once per process).
+    pub fn auto() -> Self {
+        Self {
+            threads: hardware_threads(),
+        }
+    }
+
+    /// The serial budget: exactly one thread, no scoped spawns anywhere.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// An explicit budget; `0` means [`auto`](Self::auto).
+    pub fn new(threads: usize) -> Self {
+        if threads == 0 {
+            Self::auto()
+        } else {
+            Self { threads }
+        }
+    }
+
+    /// The resolved thread count (always ≥ 1).
+    pub fn threads(self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// True when the budget is a single thread (every helper degrades to a
+    /// plain serial loop — the fallback path CI pins).
+    pub fn is_serial(self) -> bool {
+        self.threads() == 1
+    }
+
+    /// How many workers to actually spawn for `items` work items when each
+    /// worker should receive at least `min_chunk` of them: small jobs run
+    /// serially instead of paying thread-spawn latency.
+    pub fn workers_for(self, items: usize, min_chunk: usize) -> usize {
+        let by_size = items / min_chunk.max(1);
+        self.threads().min(by_size).max(1)
+    }
+
+    /// The leftover per-worker budget when this budget is split across
+    /// `outer` parallel tasks — e.g. committing 2 columns under an 8-thread
+    /// budget leaves each column's MSM 4 threads. Never below 1.
+    pub fn inner_for(self, outer: usize) -> Self {
+        let used = self.threads().min(outer.max(1));
+        Self {
+            threads: (self.threads() / used).max(1),
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Split `data` into up to [`Parallelism::threads`] contiguous chunks of at
+/// least `min_chunk` elements and run `f(offset, chunk)` on each, on scoped
+/// worker threads. With one worker (or small `data`) this is a plain call —
+/// the serial fallback path.
+pub fn par_chunks_mut<T, F>(par: Parallelism, data: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let workers = par.workers_for(n, min_chunk);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (i, slice) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i * chunk, slice));
+        }
+    });
+}
+
+/// Split the index range `0..n` into up to [`Parallelism::threads`]
+/// contiguous ranges of at least `min_chunk` indices, run `f` on each range
+/// on scoped worker threads, and return the per-range results **in range
+/// order** — the building block for parallel reductions (sum the returned
+/// partials; field addition is exact, so any association is bit-identical).
+pub fn par_ranges<R, F>(par: Parallelism, n: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let workers = par.workers_for(n, min_chunk);
+    if workers <= 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|lo| {
+                let f = &f;
+                let hi = (lo + chunk).min(n);
+                scope.spawn(move || f(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    })
+}
+
+/// Parallel order-preserving map: `out[i] = f(i, &items[i])`, split across
+/// scoped worker threads in contiguous chunks. Use for coarse items (one
+/// polynomial, one column) where each call is itself substantial work.
+pub fn par_map<I, O, F>(par: Parallelism, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let chunks = par_ranges(par, items.len(), 1, |range| {
+        range.map(|i| f(i, &items[i])).collect::<Vec<O>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_resolution() {
+        assert_eq!(Parallelism::serial().threads(), 1);
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::new(3).threads(), 3);
+        assert!(Parallelism::new(0).threads() >= 1, "auto resolves");
+        assert_eq!(Parallelism::auto(), Parallelism::new(0));
+    }
+
+    #[test]
+    fn workers_respect_min_chunk() {
+        let par = Parallelism::new(8);
+        assert_eq!(par.workers_for(100, 1), 8);
+        assert_eq!(par.workers_for(100, 50), 2);
+        assert_eq!(par.workers_for(10, 50), 1, "too small to split");
+        assert_eq!(par.workers_for(0, 1), 1);
+    }
+
+    #[test]
+    fn inner_budget_splits() {
+        let par = Parallelism::new(8);
+        assert_eq!(par.inner_for(2).threads(), 4);
+        assert_eq!(par.inner_for(8).threads(), 1);
+        assert_eq!(par.inner_for(100).threads(), 1);
+        assert_eq!(par.inner_for(0).threads(), 8, "degenerate outer");
+        assert_eq!(par.inner_for(3).threads(), 2);
+    }
+
+    #[test]
+    fn chunks_cover_every_index_once() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut data = vec![0u64; 1000];
+            par_chunks_mut(Parallelism::new(threads), &mut data, 16, |offset, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v += (offset + j) as u64 + 1;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i as u64 + 1, "threads={threads} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_ordered_and_disjoint() {
+        for threads in [1usize, 2, 7] {
+            let parts = par_ranges(Parallelism::new(threads), 103, 10, |r| r);
+            let mut next = 0usize;
+            for r in &parts {
+                assert_eq!(r.start, next, "contiguous in order");
+                next = r.end;
+            }
+            assert_eq!(next, 103);
+        }
+        // Reduction example: partial sums reassemble exactly.
+        let total: u64 = par_ranges(Parallelism::new(4), 1000, 1, |r| {
+            r.map(|i| i as u64).sum::<u64>()
+        })
+        .into_iter()
+        .sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u32> = (0..57).collect();
+        for threads in [1usize, 4] {
+            let out = par_map(Parallelism::new(threads), &items, |i, v| {
+                (i as u32) * 2 + *v
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, 3 * i as u32);
+            }
+        }
+    }
+}

@@ -8,9 +8,15 @@
 
 use crate::params::IpaParams;
 use poneglyph_arith::{Fq, PrimeField};
-use poneglyph_curve::{msm, Pallas, PallasAffine};
+use poneglyph_curve::{msm, msm_with, Pallas, PallasAffine};
 use poneglyph_hash::Transcript;
+use poneglyph_par::{par_chunks_mut, par_ranges, Parallelism};
 use rand::Rng;
+
+/// Minimum field elements per scoped worker in the folding passes.
+const MIN_FOLD_CHUNK: usize = 1 << 10;
+/// Minimum scalar multiplications per scoped worker when folding `G`.
+const MIN_POINT_CHUNK: usize = 1 << 5;
 
 /// A non-interactive IPA opening proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,6 +84,30 @@ pub fn open(
     x: Fq,
     rng: &mut impl Rng,
 ) -> IpaProof {
+    open_with(
+        params,
+        transcript,
+        coeffs,
+        blind,
+        x,
+        rng,
+        Parallelism::auto(),
+    )
+}
+
+/// [`open`] under an explicit thread budget: each folding round's vector
+/// updates (`a`, `b`, `G`) and cross-term inner products split across
+/// scoped workers, while transcript absorption and blinding draws stay in
+/// serial round order — the proof bytes are identical at any budget.
+pub fn open_with(
+    params: &IpaParams,
+    transcript: &mut Transcript,
+    coeffs: &[Fq],
+    blind: Fq,
+    x: Fq,
+    rng: &mut impl Rng,
+    par: Parallelism,
+) -> IpaProof {
     let n = params.n;
     assert!(coeffs.len() <= n);
     let k = params.k;
@@ -107,13 +137,23 @@ pub fn open(
 
         let l_blind = Fq::random(rng);
         let r_blind = Fq::random(rng);
-        let inner_lo_hi: Fq = a_lo.iter().zip(b_hi).map(|(x, y)| *x * *y).sum();
-        let inner_hi_lo: Fq = a_hi.iter().zip(b_lo).map(|(x, y)| *x * *y).sum();
+        // Partial sums per contiguous range; field addition is exact, so
+        // the reassociation cannot change the value.
+        let inner_lo_hi: Fq = par_ranges(par, half, MIN_FOLD_CHUNK, |r| {
+            r.map(|i| a_lo[i] * b_hi[i]).sum::<Fq>()
+        })
+        .into_iter()
+        .sum();
+        let inner_hi_lo: Fq = par_ranges(par, half, MIN_FOLD_CHUNK, |r| {
+            r.map(|i| a_hi[i] * b_lo[i]).sum::<Fq>()
+        })
+        .into_iter()
+        .sum();
 
-        let l = msm(a_lo, g_hi)
+        let l = msm_with(a_lo, g_hi, par)
             .add(&u_point.mul(&(z * inner_lo_hi)))
             .add(&params.h.to_projective().mul(&l_blind));
-        let r = msm(a_hi, g_lo)
+        let r = msm_with(a_hi, g_lo, par)
             .add(&u_point.mul(&(z * inner_hi_lo)))
             .add(&params.h.to_projective().mul(&r_blind));
         let l_aff = l.to_affine();
@@ -126,21 +166,32 @@ pub fn open(
         let u_j_inv = u_j.invert().expect("challenge is nonzero");
 
         // Fold: a' = u·a_lo + u⁻¹·a_hi, b' = u⁻¹·b_lo + u·b_hi,
-        //       G' = u⁻¹·G_lo + u·G_hi.
-        let mut a_next = Vec::with_capacity(half);
-        let mut b_next = Vec::with_capacity(half);
-        for i in 0..half {
-            a_next.push(a_lo[i] * u_j + a_hi[i] * u_j_inv);
-            b_next.push(b_lo[i] * u_j_inv + b_hi[i] * u_j);
-        }
-        let g_proj: Vec<Pallas> = (0..half)
-            .map(|i| {
-                g_lo[i]
+        //       G' = u⁻¹·G_lo + u·G_hi. Every output cell is written by
+        //       exactly one worker from immutable halves.
+        let mut a_next = vec![Fq::ZERO; half];
+        let mut b_next = vec![Fq::ZERO; half];
+        par_chunks_mut(par, &mut a_next, MIN_FOLD_CHUNK, |offset, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                let i = offset + j;
+                *v = a_lo[i] * u_j + a_hi[i] * u_j_inv;
+            }
+        });
+        par_chunks_mut(par, &mut b_next, MIN_FOLD_CHUNK, |offset, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                let i = offset + j;
+                *v = b_lo[i] * u_j_inv + b_hi[i] * u_j;
+            }
+        });
+        let mut g_proj = vec![Pallas::identity(); half];
+        par_chunks_mut(par, &mut g_proj, MIN_POINT_CHUNK, |offset, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                let i = offset + j;
+                *v = g_lo[i]
                     .to_projective()
                     .mul(&u_j_inv)
-                    .add(&g_hi[i].to_projective().mul(&u_j))
-            })
-            .collect();
+                    .add(&g_hi[i].to_projective().mul(&u_j));
+            }
+        });
         let g_next = Pallas::batch_to_affine(&g_proj);
 
         blind_acc += l_blind * u_j.square() + r_blind * u_j_inv.square();

@@ -6,7 +6,8 @@
 //! circuit size is the subject of the paper's **Table 2**.
 
 use poneglyph_arith::{Fq, PrimeField};
-use poneglyph_curve::{hash_to_curve, msm, Pallas, PallasAffine};
+use poneglyph_curve::{hash_to_curve, msm_with, Pallas, PallasAffine};
+use poneglyph_par::Parallelism;
 
 /// Public parameters supporting commitments to vectors of up to `2^k`
 /// scalars.
@@ -55,13 +56,19 @@ impl IpaParams {
     ///
     /// Panics if `coeffs.len() > n`.
     pub fn commit(&self, coeffs: &[Fq], blind: Fq) -> Pallas {
+        self.commit_with(coeffs, blind, Parallelism::auto())
+    }
+
+    /// [`commit`](Self::commit) under an explicit thread budget for the
+    /// underlying MSM (identical result at any budget).
+    pub fn commit_with(&self, coeffs: &[Fq], blind: Fq, par: Parallelism) -> Pallas {
         assert!(
             coeffs.len() <= self.n,
             "vector of length {} exceeds parameter capacity {}",
             coeffs.len(),
             self.n
         );
-        let c = msm(coeffs, &self.g[..coeffs.len()]);
+        let c = msm_with(coeffs, &self.g[..coeffs.len()], par);
         if blind.is_zero() {
             c
         } else {

@@ -81,6 +81,24 @@ pub struct CosetSource<'a> {
 
 /// Evaluate an expression at every point of the extended coset.
 pub fn eval_extended(expr: &Expression<Fq>, src: &CosetSource<'_>, ext_n: usize) -> Vec<Fq> {
+    eval_extended_chunk(expr, src, ext_n, 0, ext_n)
+}
+
+/// Evaluate an expression over the contiguous coset slice
+/// `[offset, offset + len)` only.
+///
+/// This is the working set of the prover's chunk-parallel quotient pass:
+/// each scoped worker evaluates every constraint over its own index range,
+/// so no worker ever materializes (or writes) a full-coset vector. Reads
+/// still wrap around the full coset — rotations reach outside the chunk.
+pub fn eval_extended_chunk(
+    expr: &Expression<Fq>,
+    src: &CosetSource<'_>,
+    ext_n: usize,
+    offset: usize,
+    len: usize,
+) -> Vec<Fq> {
+    debug_assert!(offset + len <= ext_n);
     let col = |q: Query| -> &[Fq] {
         match q.column.kind {
             ColumnKind::Fixed => &src.fixed[q.column.index],
@@ -89,13 +107,15 @@ pub fn eval_extended(expr: &Expression<Fq>, src: &CosetSource<'_>, ext_n: usize)
         }
     };
     expr.evaluate(
-        &|c| vec![c; ext_n],
-        &|| src.identity.to_vec(),
+        &|c| vec![c; len],
+        &|| src.identity[offset..offset + len].to_vec(),
         &|q| {
             let data = col(q);
             let shift =
                 (q.rotation.0 as i64 * src.ext_factor as i64).rem_euclid(ext_n as i64) as usize;
-            (0..ext_n).map(|i| data[(i + shift) % ext_n]).collect()
+            (0..len)
+                .map(|i| data[(offset + i + shift) % ext_n])
+                .collect()
         },
         &|mut a| {
             for v in a.iter_mut() {

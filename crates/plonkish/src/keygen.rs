@@ -4,8 +4,9 @@
 use crate::circuit::{Assignment, ConstraintSystem, PERMUTATION_CHUNK};
 
 use poneglyph_arith::{Fq, PrimeField};
-use poneglyph_curve::{Pallas, PallasAffine};
+use poneglyph_curve::PallasAffine;
 use poneglyph_hash::Transcript;
+use poneglyph_par::Parallelism;
 use poneglyph_pcs::IpaParams;
 use poneglyph_poly::{EvaluationDomain, Polynomial};
 
@@ -130,6 +131,36 @@ pub mod instrument {
 
     static VK_KEYGENS: AtomicU64 = AtomicU64::new(0);
     static PK_KEYGENS: AtomicU64 = AtomicU64::new(0);
+    static COMMIT_NANOS: AtomicU64 = AtomicU64::new(0);
+    static QUOTIENT_NANOS: AtomicU64 = AtomicU64::new(0);
+    static OPEN_NANOS: AtomicU64 = AtomicU64::new(0);
+
+    /// Total nanoseconds every [`prove`](crate::prove) call in this
+    /// process has spent in the *commit* stage (witness interpolation,
+    /// lookup construction, grand products, and all pre-quotient
+    /// commitments).
+    pub fn commit_nanos() -> u64 {
+        COMMIT_NANOS.load(Ordering::SeqCst)
+    }
+
+    /// Total nanoseconds spent in the *quotient* stage (coset extension,
+    /// chunk-parallel constraint accumulation, vanishing division, and the
+    /// quotient-piece commitments).
+    pub fn quotient_nanos() -> u64 {
+        QUOTIENT_NANOS.load(Ordering::SeqCst)
+    }
+
+    /// Total nanoseconds spent in the *open* stage (schedule evaluations
+    /// and the batched IPA openings).
+    pub fn open_nanos() -> u64 {
+        OPEN_NANOS.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn record_stages(commit: u64, quotient: u64, open: u64) {
+        COMMIT_NANOS.fetch_add(commit, Ordering::SeqCst);
+        QUOTIENT_NANOS.fetch_add(quotient, Ordering::SeqCst);
+        OPEN_NANOS.fetch_add(open, Ordering::SeqCst);
+    }
 
     /// Number of [`keygen_vk`](super::keygen_vk) calls so far (verifier-side
     /// key generations that skip the prover-only tables).
@@ -184,6 +215,7 @@ fn build_tables(
     params: &IpaParams,
     cs: &ConstraintSystem<Fq>,
     asn: &Assignment<Fq>,
+    par: Parallelism,
 ) -> KeygenTables {
     assert_eq!(
         params.k, asn.k,
@@ -196,16 +228,8 @@ fn build_tables(
 
     // Fixed columns.
     let fixed_values: Vec<Vec<Fq>> = asn.fixed.clone();
-    let fixed_polys: Vec<Polynomial<Fq>> = fixed_values
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let fixed_commitments: Vec<PallasAffine> = Pallas::batch_to_affine(
-        &fixed_polys
-            .iter()
-            .map(|p| params.commit(&p.coeffs, Fq::ZERO))
-            .collect::<Vec<_>>(),
-    );
+    let fixed_polys = crate::prover::to_coeff_all(&domain, &fixed_values, par);
+    let fixed_commitments = crate::prover::commit_all(params, &fixed_polys, None, par);
 
     // Permutation: union-find over (perm-column, row) cells.
     let m = cs.permutation_columns.len();
@@ -258,16 +282,8 @@ fn build_tables(
             sigma_values[c][r] = multipliers[nc] * omega_pows[nr];
         }
     }
-    let sigma_polys: Vec<Polynomial<Fq>> = sigma_values
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let sigma_commitments = Pallas::batch_to_affine(
-        &sigma_polys
-            .iter()
-            .map(|p| params.commit(&p.coeffs, Fq::ZERO))
-            .collect::<Vec<_>>(),
-    );
+    let sigma_polys = crate::prover::to_coeff_all(&domain, &sigma_values, par);
+    let sigma_commitments = crate::prover::commit_all(params, &sigma_polys, None, par);
 
     let _ = PERMUTATION_CHUNK; // referenced by prover/verifier
     KeygenTables {
@@ -295,8 +311,19 @@ pub fn keygen_vk(
     cs: &ConstraintSystem<Fq>,
     asn: &Assignment<Fq>,
 ) -> VerifyingKey {
+    keygen_vk_with(params, cs, asn, Parallelism::auto())
+}
+
+/// [`keygen_vk`] under an explicit thread budget (identical key at any
+/// budget).
+pub fn keygen_vk_with(
+    params: &IpaParams,
+    cs: &ConstraintSystem<Fq>,
+    asn: &Assignment<Fq>,
+    par: Parallelism,
+) -> VerifyingKey {
     instrument::count_vk();
-    build_tables(params, cs, asn).into_vk(cs)
+    build_tables(params, cs, asn, par).into_vk(cs)
 }
 
 /// Generate the full proving key (verifying key embedded) from a circuit
@@ -307,23 +334,27 @@ pub fn keygen_pk(
     cs: &ConstraintSystem<Fq>,
     asn: &Assignment<Fq>,
 ) -> ProvingKey {
+    keygen_pk_with(params, cs, asn, Parallelism::auto())
+}
+
+/// [`keygen_pk`] under an explicit thread budget: the fixed/σ
+/// interpolations, their commitments and every extended-coset table are
+/// computed on scoped workers. The key is identical at any budget.
+pub fn keygen_pk_with(
+    params: &IpaParams,
+    cs: &ConstraintSystem<Fq>,
+    asn: &Assignment<Fq>,
+    par: Parallelism,
+) -> ProvingKey {
     instrument::count_pk();
-    let tables = build_tables(params, cs, asn);
+    let tables = build_tables(params, cs, asn, par);
     let domain = &tables.domain;
     let n = domain.n;
     let usable = tables.usable;
 
     // Prover-only tables: everything over the extended coset.
-    let fixed_cosets: Vec<Vec<Fq>> = tables
-        .fixed_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
-    let sigma_cosets: Vec<Vec<Fq>> = tables
-        .sigma_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
+    let fixed_cosets = crate::prover::to_extended_all(domain, &tables.fixed_polys, par);
+    let sigma_cosets = crate::prover::to_extended_all(domain, &tables.sigma_polys, par);
 
     // Protocol indicator polynomials.
     let mut l0 = vec![Fq::ZERO; n];
@@ -334,9 +365,11 @@ pub fn keygen_pk(
     for v in l_active[..usable].iter_mut() {
         *v = Fq::ONE;
     }
-    let l0_coset = domain.coeff_to_extended(&domain.lagrange_to_coeff(l0));
-    let l_last_coset = domain.coeff_to_extended(&domain.lagrange_to_coeff(l_last));
-    let l_active_coset = domain.coeff_to_extended(&domain.lagrange_to_coeff(l_active));
+    let l0_coset = domain.coeff_to_extended_with(&domain.lagrange_to_coeff_with(l0, par), par);
+    let l_last_coset =
+        domain.coeff_to_extended_with(&domain.lagrange_to_coeff_with(l_last, par), par);
+    let l_active_coset =
+        domain.coeff_to_extended_with(&domain.lagrange_to_coeff_with(l_active, par), par);
 
     let KeygenTables {
         domain,

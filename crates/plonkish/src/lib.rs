@@ -33,12 +33,18 @@ mod verifier;
 pub use circuit::{
     Assignment, Cell, ConstraintSystem, Gate, Lookup, Shuffle, BLINDING_ROWS, PERMUTATION_CHUNK,
 };
-pub use eval::{compress_rows, eval_at_point, eval_rows, omega_powers, RowSource};
+pub use eval::{
+    compress_rows, eval_at_point, eval_extended, eval_extended_chunk, eval_rows, omega_powers,
+    CosetSource, RowSource,
+};
 pub use expression::{Column, ColumnKind, Expression, Query, Rotation};
-pub use keygen::{instrument, keygen, keygen_pk, keygen_vk, ProvingKey, VerifyingKey};
+pub use keygen::{
+    instrument, keygen, keygen_pk, keygen_pk_with, keygen_vk, keygen_vk_with, ProvingKey,
+    VerifyingKey,
+};
 pub use mock::{mock_prove, MockError};
 pub use proof::{open_schedule, PolyId, Proof};
-pub use prover::{prove, ProveError};
+pub use prover::{prove, prove_timed, prove_with, ProveError, ProverTimings};
 pub use verifier::{verify, verify_accumulate, VerifyError};
 
 #[cfg(test)]
@@ -251,6 +257,82 @@ mod tests {
         let back = Proof::from_bytes(&bytes).expect("roundtrip");
         assert_eq!(back, proof);
         verify(&params, &pk.vk, &instance, &back).expect("verify deserialized");
+    }
+
+    #[test]
+    fn proof_bytes_identical_at_every_thread_count() {
+        use poneglyph_par::Parallelism;
+        let toy = toy_cs();
+        let k = 5;
+        let params = IpaParams::setup(k);
+        let reference_pk = keygen_pk_with(
+            &params,
+            &toy.cs,
+            &toy_assignment(&toy, k, 8, None),
+            Parallelism::serial(),
+        );
+        let reference = prove_with(
+            &params,
+            &reference_pk,
+            toy_assignment(&toy, k, 8, None),
+            &mut StdRng::seed_from_u64(4242),
+            Parallelism::serial(),
+        )
+        .expect("serial prove")
+        .to_bytes();
+        for threads in [2usize, 3, 8] {
+            let par = Parallelism::new(threads);
+            let pk = keygen_pk_with(&params, &toy.cs, &toy_assignment(&toy, k, 8, None), par);
+            assert_eq!(
+                pk.vk.fixed_commitments, reference_pk.vk.fixed_commitments,
+                "keygen at {threads} threads"
+            );
+            let proof = prove_with(
+                &params,
+                &pk,
+                toy_assignment(&toy, k, 8, None),
+                &mut StdRng::seed_from_u64(4242),
+                par,
+            )
+            .expect("parallel prove");
+            assert_eq!(
+                proof.to_bytes(),
+                reference,
+                "proof bytes must not depend on the thread budget ({threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn prove_timed_reports_stages() {
+        use poneglyph_par::Parallelism;
+        let toy = toy_cs();
+        let k = 5;
+        let params = IpaParams::setup(k);
+        let asn = toy_assignment(&toy, k, 8, None);
+        let pk = keygen(&params, &toy.cs, &asn);
+        let instance = vec![asn.instance[0][..1].to_vec()];
+        let before = (
+            instrument::commit_nanos(),
+            instrument::quotient_nanos(),
+            instrument::open_nanos(),
+        );
+        let (proof, timings) = prove_timed(
+            &params,
+            &pk,
+            asn,
+            &mut StdRng::seed_from_u64(7),
+            Parallelism::auto(),
+        )
+        .expect("prove");
+        verify(&params, &pk.vk, &instance, &proof).expect("verifies");
+        assert!(timings.commit > std::time::Duration::ZERO);
+        assert!(timings.quotient > std::time::Duration::ZERO);
+        assert!(timings.open > std::time::Duration::ZERO);
+        // The process-wide counters grew by at least this proof's stages.
+        assert!(instrument::commit_nanos() >= before.0 + timings.commit.as_nanos() as u64);
+        assert!(instrument::quotient_nanos() >= before.1 + timings.quotient.as_nanos() as u64);
+        assert!(instrument::open_nanos() >= before.2 + timings.open.as_nanos() as u64);
     }
 
     #[test]

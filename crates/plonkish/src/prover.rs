@@ -1,23 +1,52 @@
-//! Proof generation (paper workflow step 4, Figure 2).
+//! Proof generation (paper workflow step 4, Figure 2), restructured as an
+//! explicitly staged, data-parallel pipeline.
 //!
 //! The prover commits to the witness, builds the lookup/shuffle/permutation
 //! grand products, computes the quotient polynomial over the extended coset,
 //! and opens every committed polynomial at the evaluation challenge with
-//! batched IPA openings.
+//! batched IPA openings. Each stage is data-parallel under an explicit
+//! [`Parallelism`] budget:
+//!
+//! * **commit** — column interpolations (parallel FFTs), per-column
+//!   commitments (parallel MSMs), per-lookup permuted-column construction,
+//!   and per-chunk grand-product numerators/denominators all fan out
+//!   across scoped workers;
+//! * **quotient** — every committed polynomial is extended onto the coset
+//!   in parallel, then **one** chunk-parallel pass accumulates every
+//!   constraint term over contiguous coset ranges (no worker materializes
+//!   a full-coset temporary);
+//! * **open** — schedule evaluations run per-claim in parallel and the IPA
+//!   folding rounds split their vector updates across workers.
+//!
+//! **Determinism invariant:** transcript absorption and every randomness
+//! draw happen in a fixed serial order, *outside* the parallel regions —
+//! blinding values are drawn up front and handed to workers. Field and
+//! group arithmetic are exact, so chunked re-association cannot change a
+//! value: the proof bytes are identical at every thread count. This is an
+//! invariant, not a best effort — Fiat–Shamir soundness depends on prover
+//! and verifier replaying one transcript.
 
 use crate::circuit::{Assignment, PERMUTATION_CHUNK};
 use crate::eval::{
-    compress_rows, eval_extended, eval_rows, identity_coset, omega_powers, CosetSource, RowSource,
+    compress_rows, eval_extended_chunk, eval_rows, identity_coset, omega_powers, CosetSource,
+    RowSource,
 };
-use crate::keygen::{ProvingKey, VerifyingKey};
+use crate::keygen::{instrument, ProvingKey, VerifyingKey};
 use crate::proof::{claims_by_rotation, open_schedule, PolyId, Proof};
 use poneglyph_arith::{Fq, PrimeField};
-use poneglyph_curve::Pallas;
+use poneglyph_curve::{Pallas, PallasAffine};
 use poneglyph_hash::Transcript;
+use poneglyph_par::{par_chunks_mut, par_map, Parallelism};
 use poneglyph_pcs::IpaParams;
-use poneglyph_poly::Polynomial;
+use poneglyph_poly::{EvaluationDomain, Polynomial};
 use rand::Rng;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Minimum coset points per scoped worker in the quotient pass.
+const MIN_COSET_CHUNK: usize = 1 << 10;
+/// Minimum coefficients per scoped worker in linear-combination passes.
+const MIN_COEFF_CHUNK: usize = 1 << 10;
 
 /// Errors surfaced during witness-dependent proving steps.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,22 +77,193 @@ impl std::fmt::Display for ProveError {
 
 impl std::error::Error for ProveError {}
 
-/// Generate a proof for `asn` under `pk`.
+/// Wall-clock breakdown of one [`prove_timed`] call by pipeline stage.
+///
+/// `commit` covers witness interpolation through the grand-product
+/// commitments (phases 1–3), `quotient` the extended-coset constraint
+/// accumulation and quotient-piece commitments (phase 4), and `open` the
+/// schedule evaluations plus batched IPA openings (phase 5). The same
+/// totals accumulate process-wide in [`instrument`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProverTimings {
+    /// Time in the commit stage.
+    pub commit: Duration,
+    /// Time in the quotient stage.
+    pub quotient: Duration,
+    /// Time in the open stage.
+    pub open: Duration,
+}
+
+// ---------------------------------------------------------------------
+// Batch helpers shared with keygen: split the thread budget across
+// columns first, and hand each column's FFT/MSM the leftover budget.
+// ---------------------------------------------------------------------
+
+/// Interpolate many Lagrange columns into coefficient polynomials.
+pub(crate) fn to_coeff_all(
+    domain: &EvaluationDomain<Fq>,
+    values: &[Vec<Fq>],
+    par: Parallelism,
+) -> Vec<Polynomial<Fq>> {
+    let inner = par.inner_for(values.len());
+    par_map(par, values, |_, v| {
+        domain.lagrange_to_coeff_with(v.clone(), inner)
+    })
+}
+
+/// Evaluate many coefficient polynomials over the extended coset.
+pub(crate) fn to_extended_all(
+    domain: &EvaluationDomain<Fq>,
+    polys: &[Polynomial<Fq>],
+    par: Parallelism,
+) -> Vec<Vec<Fq>> {
+    let inner = par.inner_for(polys.len());
+    par_map(par, polys, |_, p| domain.coeff_to_extended_with(p, inner))
+}
+
+/// Commit to many polynomials (blinds `None` = all zero, the keygen case)
+/// and normalize the batch to affine.
+pub(crate) fn commit_all(
+    params: &IpaParams,
+    polys: &[Polynomial<Fq>],
+    blinds: Option<&[Fq]>,
+    par: Parallelism,
+) -> Vec<PallasAffine> {
+    let inner = par.inner_for(polys.len());
+    let projective = par_map(par, polys, |i, p| {
+        let blind = blinds.map_or(Fq::ZERO, |b| b[i]);
+        params.commit_with(&p.coeffs, blind, inner)
+    });
+    Pallas::batch_to_affine(&projective)
+}
+
+/// One lookup's prover columns: the compressed input/table rows and the
+/// permuted `A'`/`S'` columns of paper §4.1, Figure 4.
+struct BuiltLookup {
+    a: Vec<Fq>,
+    s: Vec<Fq>,
+    a_sorted: Vec<Fq>,
+    s_final: Vec<Fq>,
+}
+
+/// Construct one lookup's permuted columns. Pure function of the witness
+/// and the pre-drawn blinding rows, so lookups build in parallel.
+fn build_lookup(
+    lk: &crate::circuit::Lookup<Fq>,
+    row_src: &RowSource<'_>,
+    theta: Fq,
+    u: usize,
+    n: usize,
+    blind_rows: &(Vec<Fq>, Vec<Fq>),
+) -> Result<BuiltLookup, ProveError> {
+    let inputs: Vec<Vec<Fq>> = lk.input.iter().map(|e| eval_rows(e, row_src, n)).collect();
+    let tables: Vec<Vec<Fq>> = lk.table.iter().map(|e| eval_rows(e, row_src, n)).collect();
+    let a = compress_rows(&inputs, theta);
+    let s = compress_rows(&tables, theta);
+
+    // Sort the inputs so duplicates are adjacent (paper Eq. 1 layout).
+    let mut a_sorted: Vec<Fq> = a[..u].to_vec();
+    a_sorted.sort_unstable_by_key(|v| {
+        let mut r = v.to_repr();
+        r.reverse();
+        r
+    });
+    // Arrange S' so that whenever a new value starts in A', S' carries it.
+    let mut counts: HashMap<[u8; 32], usize> = HashMap::with_capacity(u);
+    for v in &s[..u] {
+        *counts.entry(v.to_repr()).or_insert(0) += 1;
+    }
+    let mut s_matched: Vec<Option<Fq>> = vec![None; u];
+    for i in 0..u {
+        if i == 0 || a_sorted[i] != a_sorted[i - 1] {
+            let slot = counts.get_mut(&a_sorted[i].to_repr());
+            match slot {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => {
+                    return Err(ProveError::LookupValueMissing {
+                        lookup: lk.name.clone(),
+                        row: i,
+                    })
+                }
+            }
+            s_matched[i] = Some(a_sorted[i]);
+        }
+    }
+    // Fill the remaining S' slots with the leftover table values.
+    let mut leftovers = s[..u].iter().filter(|v| {
+        let key = v.to_repr();
+        if let Some(c) = counts.get_mut(&key) {
+            if *c > 0 {
+                *c -= 1;
+                return true;
+            }
+        }
+        false
+    });
+    let mut s_final = Vec::with_capacity(n);
+    for slot in s_matched {
+        match slot {
+            Some(v) => s_final.push(v),
+            None => s_final.push(*leftovers.next().expect("table size equals input size")),
+        }
+    }
+    // Blinding region: values were drawn serially by the caller.
+    a_sorted.resize(n, Fq::ZERO);
+    s_final.resize(n, Fq::ZERO);
+    a_sorted[u..n].copy_from_slice(&blind_rows.0);
+    s_final[u..n].copy_from_slice(&blind_rows.1);
+    Ok(BuiltLookup {
+        a,
+        s,
+        a_sorted,
+        s_final,
+    })
+}
+
+/// Generate a proof for `asn` under `pk`, with the auto-detected thread
+/// budget.
 ///
 /// The instance columns inside `asn` are the public inputs; the verifier
 /// must be given the same values.
 pub fn prove(
     params: &IpaParams,
     pk: &ProvingKey,
-    mut asn: Assignment<Fq>,
+    asn: Assignment<Fq>,
     rng: &mut impl Rng,
 ) -> Result<Proof, ProveError> {
+    prove_with(params, pk, asn, rng, Parallelism::auto())
+}
+
+/// [`prove`] under an explicit thread budget. The proof bytes are
+/// identical at every budget (see the module docs for why).
+pub fn prove_with(
+    params: &IpaParams,
+    pk: &ProvingKey,
+    asn: Assignment<Fq>,
+    rng: &mut impl Rng,
+    par: Parallelism,
+) -> Result<Proof, ProveError> {
+    prove_timed(params, pk, asn, rng, par).map(|(proof, _)| proof)
+}
+
+/// [`prove_with`], additionally returning the per-stage wall-clock
+/// breakdown (also accumulated into the process-wide [`instrument`]
+/// counters).
+pub fn prove_timed(
+    params: &IpaParams,
+    pk: &ProvingKey,
+    mut asn: Assignment<Fq>,
+    rng: &mut impl Rng,
+    par: Parallelism,
+) -> Result<(Proof, ProverTimings), ProveError> {
     let vk = &pk.vk;
     let cs = &vk.cs;
     let domain = &vk.domain;
     let n = domain.n;
     let u = vk.usable_rows;
     assert_eq!(params.k, asn.k, "params/circuit size mismatch");
+
+    let stage_start = Instant::now();
 
     let mut transcript = Transcript::new(b"poneglyph-plonk");
     vk.absorb_into(&mut transcript);
@@ -77,21 +277,13 @@ pub fn prove(
 
     // ------------------------------------------------------------------
     // Phase 1: commit to the (blinded) advice columns.
+    // Randomness first (serial), then the interpolations and MSMs fan
+    // out across the budget, then the commitments absorb in column order.
     // ------------------------------------------------------------------
     asn.blind(rng);
-    let advice_polys: Vec<Polynomial<Fq>> = asn
-        .advice
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let advice_blinds: Vec<Fq> = (0..advice_polys.len()).map(|_| Fq::random(rng)).collect();
-    let advice_commitments = Pallas::batch_to_affine(
-        &advice_polys
-            .iter()
-            .zip(&advice_blinds)
-            .map(|(p, b)| params.commit(&p.coeffs, *b))
-            .collect::<Vec<_>>(),
-    );
+    let advice_blinds: Vec<Fq> = (0..asn.advice.len()).map(|_| Fq::random(rng)).collect();
+    let advice_polys = to_coeff_all(domain, &asn.advice, par);
+    let advice_commitments = commit_all(params, &advice_polys, Some(&advice_blinds), par);
     for c in &advice_commitments {
         transcript.absorb_bytes(b"advice", &c.to_bytes());
     }
@@ -100,6 +292,8 @@ pub fn prove(
 
     // ------------------------------------------------------------------
     // Phase 2: lookup permuted columns A' and S' (paper §4.1, Figure 4).
+    // Blinding rows are drawn serially per lookup; construction (row
+    // evaluation, sorting, matching) runs one worker per lookup.
     // ------------------------------------------------------------------
     let omega_pows = omega_powers(domain);
     let row_src = RowSource {
@@ -109,109 +303,59 @@ pub fn prove(
         omega_pows: &omega_pows,
     };
 
+    let lookup_blind_rows: Vec<(Vec<Fq>, Vec<Fq>)> = cs
+        .lookups
+        .iter()
+        .map(|_| {
+            (
+                (u..n).map(|_| Fq::random(rng)).collect(),
+                (u..n).map(|_| Fq::random(rng)).collect(),
+            )
+        })
+        .collect();
+    let built = par_map(par, &cs.lookups, |l, lk| {
+        build_lookup(lk, &row_src, theta, u, n, &lookup_blind_rows[l])
+    });
     let mut lookup_inputs: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
     let mut lookup_tables: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
     let mut lookup_a_sorted: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
     let mut lookup_s_matched: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
-    for lk in &cs.lookups {
-        let inputs: Vec<Vec<Fq>> = lk.input.iter().map(|e| eval_rows(e, &row_src, n)).collect();
-        let tables: Vec<Vec<Fq>> = lk.table.iter().map(|e| eval_rows(e, &row_src, n)).collect();
-        let a = compress_rows(&inputs, theta);
-        let s = compress_rows(&tables, theta);
-
-        // Sort the inputs so duplicates are adjacent (paper Eq. 1 layout).
-        let mut a_sorted: Vec<Fq> = a[..u].to_vec();
-        a_sorted.sort_unstable_by_key(|v| {
-            let mut r = v.to_repr();
-            r.reverse();
-            r
-        });
-        // Arrange S' so that whenever a new value starts in A', S' carries it.
-        let mut counts: HashMap<[u8; 32], usize> = HashMap::with_capacity(u);
-        for v in &s[..u] {
-            *counts.entry(v.to_repr()).or_insert(0) += 1;
-        }
-        let mut s_matched: Vec<Option<Fq>> = vec![None; u];
-        for i in 0..u {
-            if i == 0 || a_sorted[i] != a_sorted[i - 1] {
-                let slot = counts.get_mut(&a_sorted[i].to_repr());
-                match slot {
-                    Some(c) if *c > 0 => *c -= 1,
-                    _ => {
-                        return Err(ProveError::LookupValueMissing {
-                            lookup: lk.name.clone(),
-                            row: i,
-                        })
-                    }
-                }
-                s_matched[i] = Some(a_sorted[i]);
-            }
-        }
-        // Fill the remaining S' slots with the leftover table values.
-        let mut leftovers = s[..u].iter().filter(|v| {
-            let key = v.to_repr();
-            if let Some(c) = counts.get_mut(&key) {
-                if *c > 0 {
-                    *c -= 1;
-                    return true;
-                }
-            }
-            false
-        });
-        let mut s_final = Vec::with_capacity(n);
-        for slot in s_matched {
-            match slot {
-                Some(v) => s_final.push(v),
-                None => s_final.push(*leftovers.next().expect("table size equals input size")),
-            }
-        }
-        // Blinding region.
-        a_sorted.resize(n, Fq::ZERO);
-        s_final.resize(n, Fq::ZERO);
-        for i in u..n {
-            a_sorted[i] = Fq::random(rng);
-            s_final[i] = Fq::random(rng);
-        }
-        lookup_inputs.push(a);
-        lookup_tables.push(s);
-        lookup_a_sorted.push(a_sorted);
-        lookup_s_matched.push(s_final);
+    for b in built {
+        // First failing lookup (lowest index) wins, as in a serial pass.
+        let b = b?;
+        lookup_inputs.push(b.a);
+        lookup_tables.push(b.s);
+        lookup_a_sorted.push(b.a_sorted);
+        lookup_s_matched.push(b.s_final);
     }
-    let lookup_a_polys: Vec<Polynomial<Fq>> = lookup_a_sorted
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let lookup_s_polys: Vec<Polynomial<Fq>> = lookup_s_matched
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let lookup_a_blinds: Vec<Fq> = (0..lookup_a_polys.len()).map(|_| Fq::random(rng)).collect();
-    let lookup_s_blinds: Vec<Fq> = (0..lookup_s_polys.len()).map(|_| Fq::random(rng)).collect();
+    let lookup_a_blinds: Vec<Fq> = (0..cs.lookups.len()).map(|_| Fq::random(rng)).collect();
+    let lookup_s_blinds: Vec<Fq> = (0..cs.lookups.len()).map(|_| Fq::random(rng)).collect();
+    let lookup_a_polys = to_coeff_all(domain, &lookup_a_sorted, par);
+    let lookup_s_polys = to_coeff_all(domain, &lookup_s_matched, par);
+    let lookup_a_comm = commit_all(params, &lookup_a_polys, Some(&lookup_a_blinds), par);
+    let lookup_s_comm = commit_all(params, &lookup_s_polys, Some(&lookup_s_blinds), par);
     let mut lookup_permuted = Vec::with_capacity(cs.lookups.len());
-    for i in 0..cs.lookups.len() {
-        let ca = params
-            .commit(&lookup_a_polys[i].coeffs, lookup_a_blinds[i])
-            .to_affine();
-        let cb = params
-            .commit(&lookup_s_polys[i].coeffs, lookup_s_blinds[i])
-            .to_affine();
+    for (ca, cb) in lookup_a_comm.iter().zip(&lookup_s_comm) {
         transcript.absorb_bytes(b"lookup-a", &ca.to_bytes());
         transcript.absorb_bytes(b"lookup-s", &cb.to_bytes());
-        lookup_permuted.push((ca, cb));
+        lookup_permuted.push((*ca, *cb));
     }
 
     let beta: Fq = transcript.challenge_nonzero(b"beta");
     let gamma: Fq = transcript.challenge_nonzero(b"gamma");
 
     // ------------------------------------------------------------------
-    // Phase 3: grand products.
+    // Phase 3: grand products. The O(rows·columns) numerator/denominator
+    // tables build in parallel (they depend only on the witness and the
+    // challenges); the O(rows) running products and their blinding draws
+    // stay serial — the permutation chunks chain through `carry`.
     // ------------------------------------------------------------------
     // Copy-constraint permutation (chunked).
     let perm_cols = &cs.permutation_columns;
     let chunks = cs.permutation_chunks();
-    let mut perm_z_values: Vec<Vec<Fq>> = Vec::with_capacity(chunks);
-    let mut carry = Fq::ONE;
-    for (j, chunk) in perm_cols.chunks(PERMUTATION_CHUNK).enumerate() {
+    let chunk_slices: Vec<&[crate::expression::Column]> =
+        perm_cols.chunks(PERMUTATION_CHUNK).collect();
+    let chunk_tables: Vec<(Vec<Fq>, Vec<Fq>)> = par_map(par, &chunk_slices, |j, chunk| {
         let mut num = vec![Fq::ONE; u];
         let mut den = vec![Fq::ONE; u];
         for (ci, col) in chunk.iter().enumerate() {
@@ -229,10 +373,15 @@ pub fn prove(
             }
         }
         Fq::batch_invert(&mut den);
+        (num, den)
+    });
+    let mut perm_z_values: Vec<Vec<Fq>> = Vec::with_capacity(chunks);
+    let mut carry = Fq::ONE;
+    for (num, den_inv) in &chunk_tables {
         let mut z = vec![Fq::ZERO; n];
         z[0] = carry;
         for r in 0..u {
-            z[r + 1] = z[r] * num[r] * den[r];
+            z[r + 1] = z[r] * num[r] * den_inv[r];
         }
         carry = z[u];
         for zi in z[u + 1..].iter_mut() {
@@ -245,14 +394,19 @@ pub fn prove(
     }
 
     // Lookup grand products.
-    let mut lookup_z_values: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
-    for l in 0..cs.lookups.len() {
-        let a = &lookup_inputs[l];
-        let s = &lookup_tables[l];
+    let lookup_idx: Vec<usize> = (0..cs.lookups.len()).collect();
+    let lookup_den_inv: Vec<Vec<Fq>> = par_map(par, &lookup_idx, |_, &l| {
         let ap = &lookup_a_sorted[l];
         let sp = &lookup_s_matched[l];
         let mut den: Vec<Fq> = (0..u).map(|r| (ap[r] + beta) * (sp[r] + gamma)).collect();
         Fq::batch_invert(&mut den);
+        den
+    });
+    let mut lookup_z_values: Vec<Vec<Fq>> = Vec::with_capacity(cs.lookups.len());
+    for l in 0..cs.lookups.len() {
+        let a = &lookup_inputs[l];
+        let s = &lookup_tables[l];
+        let den = &lookup_den_inv[l];
         let mut z = vec![Fq::ZERO; n];
         z[0] = Fq::ONE;
         for r in 0..u {
@@ -266,10 +420,7 @@ pub fn prove(
     }
 
     // Shuffle grand products.
-    let mut shuffle_inputs: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
-    let mut shuffle_targets: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
-    let mut shuffle_z_values: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
-    for sh in &cs.shuffles {
+    let shuffle_tables: Vec<(Vec<Fq>, Vec<Fq>, Vec<Fq>)> = par_map(par, &cs.shuffles, |_, sh| {
         let inputs: Vec<Vec<Fq>> = sh.input.iter().map(|e| eval_rows(e, &row_src, n)).collect();
         let targets: Vec<Vec<Fq>> = sh
             .target
@@ -280,6 +431,12 @@ pub fn prove(
         let b = compress_rows(&targets, theta);
         let mut den: Vec<Fq> = (0..u).map(|r| b[r] + gamma).collect();
         Fq::batch_invert(&mut den);
+        (a, b, den)
+    });
+    let mut shuffle_inputs: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
+    let mut shuffle_targets: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
+    let mut shuffle_z_values: Vec<Vec<Fq>> = Vec::with_capacity(cs.shuffles.len());
+    for (a, b, den) in shuffle_tables {
         let mut z = vec![Fq::ZERO; n];
         z[0] = Fq::ONE;
         for r in 0..u {
@@ -294,43 +451,16 @@ pub fn prove(
         shuffle_z_values.push(z);
     }
 
-    // Commit all Z polynomials.
-    let perm_z_polys: Vec<Polynomial<Fq>> = perm_z_values
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let lookup_z_polys: Vec<Polynomial<Fq>> = lookup_z_values
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let shuffle_z_polys: Vec<Polynomial<Fq>> = shuffle_z_values
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
+    // Commit all Z polynomials (blinds drawn serially first, as above).
     let perm_z_blinds: Vec<Fq> = (0..chunks).map(|_| Fq::random(rng)).collect();
     let lookup_z_blinds: Vec<Fq> = (0..cs.lookups.len()).map(|_| Fq::random(rng)).collect();
     let shuffle_z_blinds: Vec<Fq> = (0..cs.shuffles.len()).map(|_| Fq::random(rng)).collect();
-    let perm_z_comm = Pallas::batch_to_affine(
-        &perm_z_polys
-            .iter()
-            .zip(&perm_z_blinds)
-            .map(|(p, b)| params.commit(&p.coeffs, *b))
-            .collect::<Vec<_>>(),
-    );
-    let lookup_z_comm = Pallas::batch_to_affine(
-        &lookup_z_polys
-            .iter()
-            .zip(&lookup_z_blinds)
-            .map(|(p, b)| params.commit(&p.coeffs, *b))
-            .collect::<Vec<_>>(),
-    );
-    let shuffle_z_comm = Pallas::batch_to_affine(
-        &shuffle_z_polys
-            .iter()
-            .zip(&shuffle_z_blinds)
-            .map(|(p, b)| params.commit(&p.coeffs, *b))
-            .collect::<Vec<_>>(),
-    );
+    let perm_z_polys = to_coeff_all(domain, &perm_z_values, par);
+    let lookup_z_polys = to_coeff_all(domain, &lookup_z_values, par);
+    let shuffle_z_polys = to_coeff_all(domain, &shuffle_z_values, par);
+    let perm_z_comm = commit_all(params, &perm_z_polys, Some(&perm_z_blinds), par);
+    let lookup_z_comm = commit_all(params, &lookup_z_polys, Some(&lookup_z_blinds), par);
+    let shuffle_z_comm = commit_all(params, &shuffle_z_polys, Some(&shuffle_z_blinds), par);
     for c in &perm_z_comm {
         transcript.absorb_bytes(b"perm-z", &c.to_bytes());
     }
@@ -342,25 +472,21 @@ pub fn prove(
     }
 
     let y: Fq = transcript.challenge_nonzero(b"y");
+    let commit_elapsed = stage_start.elapsed();
+    let stage_start = Instant::now();
 
     // ------------------------------------------------------------------
     // Phase 4: quotient polynomial over the extended coset.
+    // Every committed polynomial extends onto the coset in parallel, then
+    // one chunk-parallel pass accumulates every constraint term: each
+    // worker owns a contiguous slice of the accumulator and evaluates all
+    // terms, in the fixed fold order, over its own index range.
     // ------------------------------------------------------------------
     let ext_n = domain.extended_n;
     let ext_factor = ext_n / n;
-    let instance_polys: Vec<Polynomial<Fq>> = asn
-        .instance
-        .iter()
-        .map(|v| domain.lagrange_to_coeff(v.clone()))
-        .collect();
-    let advice_cosets: Vec<Vec<Fq>> = advice_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
-    let instance_cosets: Vec<Vec<Fq>> = instance_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
+    let instance_polys = to_coeff_all(domain, &asn.instance, par);
+    let advice_cosets = to_extended_all(domain, &advice_polys, par);
+    let instance_cosets = to_extended_all(domain, &instance_polys, par);
     let id_coset = identity_coset(domain);
     let coset_src = CosetSource {
         fixed: &pk.fixed_cosets,
@@ -369,184 +495,194 @@ pub fn prove(
         identity: &id_coset,
         ext_factor,
     };
-    let perm_z_cosets: Vec<Vec<Fq>> = perm_z_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
-    let lookup_z_cosets: Vec<Vec<Fq>> = lookup_z_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
-    let shuffle_z_cosets: Vec<Vec<Fq>> = shuffle_z_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
-    let lookup_a_cosets: Vec<Vec<Fq>> = lookup_a_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
-    let lookup_s_cosets: Vec<Vec<Fq>> = lookup_s_polys
-        .iter()
-        .map(|p| domain.coeff_to_extended(p))
-        .collect();
+    let perm_z_cosets = to_extended_all(domain, &perm_z_polys, par);
+    let lookup_z_cosets = to_extended_all(domain, &lookup_z_polys, par);
+    let shuffle_z_cosets = to_extended_all(domain, &shuffle_z_polys, par);
+    let lookup_a_cosets = to_extended_all(domain, &lookup_a_polys, par);
+    let lookup_s_cosets = to_extended_all(domain, &lookup_s_polys, par);
 
-    let rot = |data: &[Fq], rows: i64| -> Vec<Fq> {
-        let shift = (rows * ext_factor as i64).rem_euclid(ext_n as i64) as usize;
-        (0..ext_n).map(|i| data[(i + shift) % ext_n]).collect()
-    };
+    // Rotation shifts in coset points (reads wrap around the full coset).
+    let shift_of =
+        |rows: i64| -> usize { (rows * ext_factor as i64).rem_euclid(ext_n as i64) as usize };
+    let next_shift = shift_of(1);
+    let prev_shift = shift_of(-1);
+    let usable_shift = shift_of(u as i64);
+
+    let vinv = domain.vanishing_inv_on_extended();
+    let vinv_period = vinv.len();
 
     let mut acc = vec![Fq::ZERO; ext_n];
-    let fold = |acc: &mut Vec<Fq>, term: &[Fq]| {
-        for (a, t) in acc.iter_mut().zip(term) {
-            *a = *a * y + *t;
-        }
-    };
-
-    // (a) custom gates, gated by the active-row indicator.
-    for gate in &cs.gates {
-        for poly in &gate.polys {
-            let mut term = eval_extended(poly, &coset_src, ext_n);
-            for (t, g) in term.iter_mut().zip(&pk.l_active_coset) {
-                *t *= *g;
+    par_chunks_mut(par, &mut acc, MIN_COSET_CHUNK, |offset, out| {
+        let len = out.len();
+        // Horner fold in `y`: per-index, so chunking cannot reorder it.
+        let fold = |out: &mut [Fq], term: &[Fq]| {
+            for (a, t) in out.iter_mut().zip(term) {
+                *a = *a * y + *t;
             }
-            fold(&mut acc, &term);
-        }
-    }
+        };
 
-    // (b) copy-constraint permutation.
-    let usable_rot = u as i64;
-    for j in 0..chunks {
-        let z = &perm_z_cosets[j];
-        if j == 0 {
-            let term: Vec<Fq> = (0..ext_n)
-                .map(|i| pk.l0_coset[i] * (z[i] - Fq::ONE))
-                .collect();
-            fold(&mut acc, &term);
-        } else {
-            let prev = rot(&perm_z_cosets[j - 1], usable_rot);
-            let term: Vec<Fq> = (0..ext_n)
-                .map(|i| pk.l0_coset[i] * (z[i] - prev[i]))
-                .collect();
-            fold(&mut acc, &term);
-        }
-        if j == chunks - 1 {
-            let term: Vec<Fq> = (0..ext_n)
-                .map(|i| pk.l_last_coset[i] * (z[i] - Fq::ONE))
-                .collect();
-            fold(&mut acc, &term);
-        }
-        // Running product.
-        let z_next = rot(z, 1);
-        let chunk = &perm_cols[j * PERMUTATION_CHUNK
-            ..(j * PERMUTATION_CHUNK + PERMUTATION_CHUNK).min(perm_cols.len())];
-        let mut num = vec![Fq::ONE; ext_n];
-        let mut den = vec![Fq::ONE; ext_n];
-        for (ci, col) in chunk.iter().enumerate() {
-            let global_i = j * PERMUTATION_CHUNK + ci;
-            let k_i = VerifyingKey::coset_multiplier(global_i);
-            let vals = match col.kind {
-                crate::expression::ColumnKind::Fixed => &pk.fixed_cosets[col.index],
-                crate::expression::ColumnKind::Advice => &advice_cosets[col.index],
-                crate::expression::ColumnKind::Instance => &instance_cosets[col.index],
-            };
-            let sigma = &pk.sigma_cosets[global_i];
-            for i in 0..ext_n {
-                num[i] *= vals[i] + beta * k_i * id_coset[i] + gamma;
-                den[i] *= vals[i] + beta * sigma[i] + gamma;
+        // (a) custom gates, gated by the active-row indicator.
+        for gate in &cs.gates {
+            for poly in &gate.polys {
+                let mut term = eval_extended_chunk(poly, &coset_src, ext_n, offset, len);
+                for (t, g) in term
+                    .iter_mut()
+                    .zip(&pk.l_active_coset[offset..offset + len])
+                {
+                    *t *= *g;
+                }
+                fold(out, &term);
             }
         }
-        let term: Vec<Fq> = (0..ext_n)
-            .map(|i| pk.l_active_coset[i] * (z_next[i] * den[i] - z[i] * num[i]))
-            .collect();
-        fold(&mut acc, &term);
-    }
 
-    // (c) lookups.
-    for l in 0..cs.lookups.len() {
-        let z = &lookup_z_cosets[l];
-        let z_next = rot(z, 1);
-        let ap = &lookup_a_cosets[l];
-        let sp = &lookup_s_cosets[l];
-        let ap_prev = rot(ap, -1);
-        let inputs: Vec<Vec<Fq>> = cs.lookups[l]
-            .input
-            .iter()
-            .map(|e| eval_extended(e, &coset_src, ext_n))
-            .collect();
-        let tables: Vec<Vec<Fq>> = cs.lookups[l]
-            .table
-            .iter()
-            .map(|e| eval_extended(e, &coset_src, ext_n))
-            .collect();
-        let a_comp = compress_rows(&inputs, theta);
-        let s_comp = compress_rows(&tables, theta);
+        // (b) copy-constraint permutation.
+        for j in 0..chunks {
+            let z = &perm_z_cosets[j];
+            if j == 0 {
+                let term: Vec<Fq> = (0..len)
+                    .map(|i| pk.l0_coset[offset + i] * (z[offset + i] - Fq::ONE))
+                    .collect();
+                fold(out, &term);
+            } else {
+                let prev = &perm_z_cosets[j - 1];
+                let term: Vec<Fq> = (0..len)
+                    .map(|i| {
+                        let idx = offset + i;
+                        pk.l0_coset[idx] * (z[idx] - prev[(idx + usable_shift) % ext_n])
+                    })
+                    .collect();
+                fold(out, &term);
+            }
+            if j == chunks - 1 {
+                let term: Vec<Fq> = (0..len)
+                    .map(|i| pk.l_last_coset[offset + i] * (z[offset + i] - Fq::ONE))
+                    .collect();
+                fold(out, &term);
+            }
+            // Running product.
+            let chunk = &perm_cols[j * PERMUTATION_CHUNK
+                ..(j * PERMUTATION_CHUNK + PERMUTATION_CHUNK).min(perm_cols.len())];
+            let mut num = vec![Fq::ONE; len];
+            let mut den = vec![Fq::ONE; len];
+            for (ci, col) in chunk.iter().enumerate() {
+                let global_i = j * PERMUTATION_CHUNK + ci;
+                let k_i = VerifyingKey::coset_multiplier(global_i);
+                let vals = match col.kind {
+                    crate::expression::ColumnKind::Fixed => &pk.fixed_cosets[col.index],
+                    crate::expression::ColumnKind::Advice => &advice_cosets[col.index],
+                    crate::expression::ColumnKind::Instance => &instance_cosets[col.index],
+                };
+                let sigma = &pk.sigma_cosets[global_i];
+                for i in 0..len {
+                    let idx = offset + i;
+                    num[i] *= vals[idx] + beta * k_i * id_coset[idx] + gamma;
+                    den[i] *= vals[idx] + beta * sigma[idx] + gamma;
+                }
+            }
+            let term: Vec<Fq> = (0..len)
+                .map(|i| {
+                    let idx = offset + i;
+                    let z_next = z[(idx + next_shift) % ext_n];
+                    pk.l_active_coset[idx] * (z_next * den[i] - z[idx] * num[i])
+                })
+                .collect();
+            fold(out, &term);
+        }
 
-        let t1: Vec<Fq> = (0..ext_n)
-            .map(|i| pk.l0_coset[i] * (z[i] - Fq::ONE))
-            .collect();
-        fold(&mut acc, &t1);
-        let t2: Vec<Fq> = (0..ext_n)
-            .map(|i| pk.l_last_coset[i] * (z[i] - Fq::ONE))
-            .collect();
-        fold(&mut acc, &t2);
-        let t3: Vec<Fq> = (0..ext_n)
-            .map(|i| {
-                pk.l_active_coset[i]
-                    * (z_next[i] * (ap[i] + beta) * (sp[i] + gamma)
-                        - z[i] * (a_comp[i] + beta) * (s_comp[i] + gamma))
-            })
-            .collect();
-        fold(&mut acc, &t3);
-        let t4: Vec<Fq> = (0..ext_n)
-            .map(|i| pk.l0_coset[i] * (ap[i] - sp[i]))
-            .collect();
-        fold(&mut acc, &t4);
-        let t5: Vec<Fq> = (0..ext_n)
-            .map(|i| pk.l_active_coset[i] * (ap[i] - sp[i]) * (ap[i] - ap_prev[i]))
-            .collect();
-        fold(&mut acc, &t5);
-    }
+        // (c) lookups.
+        for l in 0..cs.lookups.len() {
+            let z = &lookup_z_cosets[l];
+            let ap = &lookup_a_cosets[l];
+            let sp = &lookup_s_cosets[l];
+            let inputs: Vec<Vec<Fq>> = cs.lookups[l]
+                .input
+                .iter()
+                .map(|e| eval_extended_chunk(e, &coset_src, ext_n, offset, len))
+                .collect();
+            let tables: Vec<Vec<Fq>> = cs.lookups[l]
+                .table
+                .iter()
+                .map(|e| eval_extended_chunk(e, &coset_src, ext_n, offset, len))
+                .collect();
+            let a_comp = compress_rows(&inputs, theta);
+            let s_comp = compress_rows(&tables, theta);
 
-    // (d) shuffles.
-    for s in 0..cs.shuffles.len() {
-        let z = &shuffle_z_cosets[s];
-        let z_next = rot(z, 1);
-        let inputs: Vec<Vec<Fq>> = cs.shuffles[s]
-            .input
-            .iter()
-            .map(|e| eval_extended(e, &coset_src, ext_n))
-            .collect();
-        let targets: Vec<Vec<Fq>> = cs.shuffles[s]
-            .target
-            .iter()
-            .map(|e| eval_extended(e, &coset_src, ext_n))
-            .collect();
-        let a_comp = compress_rows(&inputs, theta);
-        let b_comp = compress_rows(&targets, theta);
-        let t1: Vec<Fq> = (0..ext_n)
-            .map(|i| pk.l0_coset[i] * (z[i] - Fq::ONE))
-            .collect();
-        fold(&mut acc, &t1);
-        let t2: Vec<Fq> = (0..ext_n)
-            .map(|i| pk.l_last_coset[i] * (z[i] - Fq::ONE))
-            .collect();
-        fold(&mut acc, &t2);
-        let t3: Vec<Fq> = (0..ext_n)
-            .map(|i| {
-                pk.l_active_coset[i]
-                    * (z_next[i] * (b_comp[i] + gamma) - z[i] * (a_comp[i] + gamma))
-            })
-            .collect();
-        fold(&mut acc, &t3);
-    }
+            let t1: Vec<Fq> = (0..len)
+                .map(|i| pk.l0_coset[offset + i] * (z[offset + i] - Fq::ONE))
+                .collect();
+            fold(out, &t1);
+            let t2: Vec<Fq> = (0..len)
+                .map(|i| pk.l_last_coset[offset + i] * (z[offset + i] - Fq::ONE))
+                .collect();
+            fold(out, &t2);
+            let t3: Vec<Fq> = (0..len)
+                .map(|i| {
+                    let idx = offset + i;
+                    let z_next = z[(idx + next_shift) % ext_n];
+                    pk.l_active_coset[idx]
+                        * (z_next * (ap[idx] + beta) * (sp[idx] + gamma)
+                            - z[idx] * (a_comp[i] + beta) * (s_comp[i] + gamma))
+                })
+                .collect();
+            fold(out, &t3);
+            let t4: Vec<Fq> = (0..len)
+                .map(|i| {
+                    let idx = offset + i;
+                    pk.l0_coset[idx] * (ap[idx] - sp[idx])
+                })
+                .collect();
+            fold(out, &t4);
+            let t5: Vec<Fq> = (0..len)
+                .map(|i| {
+                    let idx = offset + i;
+                    let ap_prev = ap[(idx + prev_shift) % ext_n];
+                    pk.l_active_coset[idx] * (ap[idx] - sp[idx]) * (ap[idx] - ap_prev)
+                })
+                .collect();
+            fold(out, &t5);
+        }
 
-    // Divide by the vanishing polynomial.
-    let vinv = domain.vanishing_inv_on_extended();
-    let period = vinv.len();
-    for (i, a) in acc.iter_mut().enumerate() {
-        *a *= vinv[i % period];
-    }
-    let h = domain.extended_to_coeff(acc);
+        // (d) shuffles.
+        for s in 0..cs.shuffles.len() {
+            let z = &shuffle_z_cosets[s];
+            let inputs: Vec<Vec<Fq>> = cs.shuffles[s]
+                .input
+                .iter()
+                .map(|e| eval_extended_chunk(e, &coset_src, ext_n, offset, len))
+                .collect();
+            let targets: Vec<Vec<Fq>> = cs.shuffles[s]
+                .target
+                .iter()
+                .map(|e| eval_extended_chunk(e, &coset_src, ext_n, offset, len))
+                .collect();
+            let a_comp = compress_rows(&inputs, theta);
+            let b_comp = compress_rows(&targets, theta);
+            let t1: Vec<Fq> = (0..len)
+                .map(|i| pk.l0_coset[offset + i] * (z[offset + i] - Fq::ONE))
+                .collect();
+            fold(out, &t1);
+            let t2: Vec<Fq> = (0..len)
+                .map(|i| pk.l_last_coset[offset + i] * (z[offset + i] - Fq::ONE))
+                .collect();
+            fold(out, &t2);
+            let t3: Vec<Fq> = (0..len)
+                .map(|i| {
+                    let idx = offset + i;
+                    let z_next = z[(idx + next_shift) % ext_n];
+                    pk.l_active_coset[idx]
+                        * (z_next * (b_comp[i] + gamma) - z[idx] * (a_comp[i] + gamma))
+                })
+                .collect();
+            fold(out, &t3);
+        }
+
+        // Divide by the vanishing polynomial (periodic over the coset).
+        for (i, a) in out.iter_mut().enumerate() {
+            *a *= vinv[(offset + i) % vinv_period];
+        }
+    });
+
+    let h = domain.extended_to_coeff_with(acc, par);
     let num_pieces = ext_factor - 1;
     debug_assert!(
         h.coeffs[num_pieces * n..].iter().all(|c| c.is_zero()),
@@ -556,21 +692,19 @@ pub fn prove(
         .map(|j| Polynomial::from_coeffs(h.coeffs[j * n..(j + 1) * n].to_vec()))
         .collect();
     let h_blinds: Vec<Fq> = (0..num_pieces).map(|_| Fq::random(rng)).collect();
-    let h_comm = Pallas::batch_to_affine(
-        &h_piece_polys
-            .iter()
-            .zip(&h_blinds)
-            .map(|(p, b)| params.commit(&p.coeffs, *b))
-            .collect::<Vec<_>>(),
-    );
+    let h_comm = commit_all(params, &h_piece_polys, Some(&h_blinds), par);
     for c in &h_comm {
         transcript.absorb_bytes(b"h", &c.to_bytes());
     }
 
     let x: Fq = transcript.challenge_nonzero(b"x");
+    let quotient_elapsed = stage_start.elapsed();
+    let stage_start = Instant::now();
 
     // ------------------------------------------------------------------
-    // Phase 5: evaluations and batched openings.
+    // Phase 5: evaluations and batched openings. Claims evaluate in
+    // parallel; their transcript absorption (and every IPA round) stays
+    // in fixed schedule order.
     // ------------------------------------------------------------------
     let poly_of = |id: PolyId| -> (&Polynomial<Fq>, Fq) {
         match id {
@@ -587,13 +721,12 @@ pub fn prove(
     };
 
     let schedule = open_schedule(cs, u as i32, num_pieces);
-    let mut evals = Vec::with_capacity(schedule.len());
-    for (id, r) in &schedule {
+    let evals = par_map(par, &schedule, |_, (id, r)| {
         let point = domain.rotate_omega(*r) * x;
-        let (poly, _) = poly_of(*id);
-        let e = poly.eval(point);
-        transcript.absorb_scalar(b"eval", &e);
-        evals.push(e);
+        poly_of(*id).0.eval(point)
+    });
+    for e in &evals {
+        transcript.absorb_scalar(b"eval", e);
     }
 
     let v: Fq = transcript.challenge_nonzero(b"v");
@@ -601,35 +734,85 @@ pub fn prove(
     let mut openings = Vec::with_capacity(groups.len());
     for (r, ids) in &groups {
         let point = domain.rotate_omega(*r) * x;
+        // The v-weighted combination is per-coefficient: each worker walks
+        // the same id order over its own coefficient range.
         let mut combined = vec![Fq::ZERO; n];
+        par_chunks_mut(par, &mut combined, MIN_COEFF_CHUNK, |offset, chunk| {
+            let mut pow = Fq::ONE;
+            for id in ids {
+                let (poly, _) = poly_of(*id);
+                let hi = poly.coeffs.len().min(offset + chunk.len());
+                if hi > offset {
+                    for (c, p) in chunk.iter_mut().zip(&poly.coeffs[offset..hi]) {
+                        *c += pow * *p;
+                    }
+                }
+                pow *= v;
+            }
+        });
         let mut combined_blind = Fq::ZERO;
         let mut pow = Fq::ONE;
         for id in ids {
-            let (poly, blind) = poly_of(*id);
-            for (c, p) in combined.iter_mut().zip(&poly.coeffs) {
-                *c += pow * *p;
-            }
-            combined_blind += pow * blind;
+            combined_blind += pow * poly_of(*id).1;
             pow *= v;
         }
-        openings.push(poneglyph_pcs::open(
+        openings.push(poneglyph_pcs::open_with(
             params,
             &mut transcript,
             &combined,
             combined_blind,
             point,
             rng,
+            par,
         ));
     }
 
-    Ok(Proof {
-        advice_commitments,
-        lookup_permuted,
-        perm_z: perm_z_comm,
-        lookup_z: lookup_z_comm,
-        shuffle_z: shuffle_z_comm,
-        h_pieces: h_comm,
-        evals,
-        openings,
-    })
+    let open_elapsed = stage_start.elapsed();
+    let timings = ProverTimings {
+        commit: commit_elapsed,
+        quotient: quotient_elapsed,
+        open: open_elapsed,
+    };
+    instrument::record_stages(
+        commit_elapsed.as_nanos() as u64,
+        quotient_elapsed.as_nanos() as u64,
+        open_elapsed.as_nanos() as u64,
+    );
+
+    Ok((
+        Proof {
+            advice_commitments,
+            lookup_permuted,
+            perm_z: perm_z_comm,
+            lookup_z: lookup_z_comm,
+            shuffle_z: shuffle_z_comm,
+            h_pieces: h_comm,
+            evals,
+            openings,
+        },
+        timings,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counters_are_monotone() {
+        // The process-global stage counters only ever grow; other tests in
+        // this binary may run concurrently, so assert lower bounds on the
+        // deltas (concurrent provers only push the counters further up),
+        // not exact values.
+        let before = (
+            instrument::commit_nanos(),
+            instrument::quotient_nanos(),
+            instrument::open_nanos(),
+        );
+        instrument::record_stages(3, 2, 1);
+        instrument::record_stages(10, 20, 30);
+        assert!(instrument::commit_nanos() >= before.0 + 13);
+        assert!(instrument::quotient_nanos() >= before.1 + 22);
+        assert!(instrument::open_nanos() >= before.2 + 31);
+    }
 }

@@ -2,9 +2,13 @@
 //! over which circuit columns are interpolated, plus the extended coset
 //! domain used for quotient-polynomial computation.
 
-use crate::fft::{fft, ifft};
+use crate::fft::{fft, fft_with, ifft, ifft_with};
 use crate::Polynomial;
 use poneglyph_arith::PrimeField;
+use poneglyph_par::{par_chunks_mut, Parallelism};
+
+/// Minimum rows per worker when parallelizing the coset scaling passes.
+const MIN_SCALE_CHUNK: usize = 1 << 12;
 
 /// The `2^k`-row evaluation domain and its extension.
 ///
@@ -92,6 +96,14 @@ impl<F: PrimeField> EvaluationDomain<F> {
         Polynomial { coeffs: values }
     }
 
+    /// [`lagrange_to_coeff`](Self::lagrange_to_coeff) under an explicit
+    /// thread budget (identical output at any budget).
+    pub fn lagrange_to_coeff_with(&self, mut values: Vec<F>, par: Parallelism) -> Polynomial<F> {
+        assert_eq!(values.len(), self.n);
+        ifft_with(&mut values, self.omega_inv, self.n_inv, par);
+        Polynomial { coeffs: values }
+    }
+
     /// Evaluate a coefficient polynomial over `H`.
     pub fn coeff_to_lagrange(&self, poly: &Polynomial<F>) -> Vec<F> {
         assert!(
@@ -106,28 +118,53 @@ impl<F: PrimeField> EvaluationDomain<F> {
 
     /// Evaluate a coefficient polynomial over the extended coset `g·H'`.
     pub fn coeff_to_extended(&self, poly: &Polynomial<F>) -> Vec<F> {
+        self.coeff_to_extended_with(poly, Parallelism::serial())
+    }
+
+    /// [`coeff_to_extended`](Self::coeff_to_extended) under an explicit
+    /// thread budget: the coset scaling pass and the extended FFT both
+    /// split across scoped workers (identical output at any budget).
+    pub fn coeff_to_extended_with(&self, poly: &Polynomial<F>, par: Parallelism) -> Vec<F> {
         assert!(poly.coeffs.len() <= self.extended_n);
         let mut values = poly.coeffs.clone();
         values.resize(self.extended_n, F::ZERO);
-        // Multiply coefficient i by g^i to shift evaluation onto the coset.
-        let mut gi = F::ONE;
-        for v in values.iter_mut() {
-            *v *= gi;
-            gi *= self.coset_gen;
-        }
-        fft(&mut values, self.extended_omega);
+        // Multiply coefficient i by g^i to shift evaluation onto the coset;
+        // each worker seeds its run of the geometric sequence with one pow.
+        let gen = self.coset_gen;
+        par_chunks_mut(par, &mut values, MIN_SCALE_CHUNK, |offset, chunk| {
+            let mut gi = gen.pow(&[offset as u64, 0, 0, 0]);
+            for v in chunk.iter_mut() {
+                *v *= gi;
+                gi *= gen;
+            }
+        });
+        fft_with(&mut values, self.extended_omega, par);
         values
     }
 
     /// Interpolate extended-coset evaluations back to coefficients.
-    pub fn extended_to_coeff(&self, mut values: Vec<F>) -> Polynomial<F> {
+    pub fn extended_to_coeff(&self, values: Vec<F>) -> Polynomial<F> {
+        self.extended_to_coeff_with(values, Parallelism::serial())
+    }
+
+    /// [`extended_to_coeff`](Self::extended_to_coeff) under an explicit
+    /// thread budget (identical output at any budget).
+    pub fn extended_to_coeff_with(&self, mut values: Vec<F>, par: Parallelism) -> Polynomial<F> {
         assert_eq!(values.len(), self.extended_n);
-        ifft(&mut values, self.extended_omega_inv, self.extended_n_inv);
-        let mut gi = F::ONE;
-        for v in values.iter_mut() {
-            *v *= gi;
-            gi *= self.coset_gen_inv;
-        }
+        ifft_with(
+            &mut values,
+            self.extended_omega_inv,
+            self.extended_n_inv,
+            par,
+        );
+        let gen_inv = self.coset_gen_inv;
+        par_chunks_mut(par, &mut values, MIN_SCALE_CHUNK, |offset, chunk| {
+            let mut gi = gen_inv.pow(&[offset as u64, 0, 0, 0]);
+            for v in chunk.iter_mut() {
+                *v *= gi;
+                gi *= gen_inv;
+            }
+        });
         Polynomial { coeffs: values }
     }
 
@@ -230,6 +267,28 @@ mod tests {
             assert_eq!(*c, Fq::ZERO);
         }
         assert_eq!(&back.coeffs[..d.n], &poly.coeffs[..]);
+    }
+
+    #[test]
+    fn threaded_conversions_match_serial() {
+        // k chosen so the extended domain crosses the parallel threshold.
+        let d = EvaluationDomain::<Fq>::new(10, 4);
+        let values = rand_values(d.n, 9);
+        let serial_poly = d.lagrange_to_coeff(values.clone());
+        let serial_ext = d.coeff_to_extended(&serial_poly);
+        for threads in [1usize, 2, 3, 8] {
+            let par = Parallelism::new(threads);
+            let poly = d.lagrange_to_coeff_with(values.clone(), par);
+            assert_eq!(poly, serial_poly, "interpolation, threads={threads}");
+            let ext = d.coeff_to_extended_with(&poly, par);
+            assert_eq!(ext, serial_ext, "coset eval, threads={threads}");
+            let back = d.extended_to_coeff_with(ext, par);
+            assert_eq!(
+                &back.coeffs[..d.n],
+                &serial_poly.coeffs[..],
+                "coset interp, threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,19 @@
 //! In-place radix-2 Cooley–Tukey FFT over a prime field with high 2-adicity.
+//!
+//! Two entry points: the serial [`fft`]/[`ifft`] primitives, and
+//! [`fft_with`]/[`ifft_with`] which split a large transform into
+//! `2^log_w` interleaved sub-transforms computed on scoped worker threads
+//! (the classic `bellman`/`halo2` decomposition). The parallel form
+//! computes exactly the same field values — the DFT is a fixed function of
+//! its input — so callers may mix thread counts freely without affecting
+//! any downstream bytes.
 
 use poneglyph_arith::PrimeField;
+use poneglyph_par::{par_chunks_mut, Parallelism};
+
+/// Transforms below this size run serially even under a parallel budget:
+/// scoped-thread spawn latency would exceed the butterfly work saved.
+const MIN_PARALLEL_N: usize = 1 << 11;
 
 /// Bit-reversal permutation of `a` (length must be a power of two).
 fn bit_reverse<F>(a: &mut [F]) {
@@ -58,6 +71,72 @@ pub fn ifft<F: PrimeField>(a: &mut [F], omega_inv: F, n_inv: F) {
     }
 }
 
+/// [`fft`] under an explicit thread budget.
+///
+/// With a serial budget (or a small transform) this is exactly [`fft`];
+/// otherwise the transform is decomposed into `w = 2^log_w` sub-transforms
+/// of size `n/w` — worker `j` gathers the twiddle-weighted residue class
+/// `Σ_s a[i + s·(n/w)]·ω^{j(i + s·(n/w))}`, runs a serial sub-FFT over it,
+/// and the results interleave back (`out[i] = tmp[i mod w][i div w]`).
+pub fn fft_with<F: PrimeField>(a: &mut [F], omega: F, par: Parallelism) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    let log_n = n.trailing_zeros();
+    // Sub-transforms must stay big enough to amortize the gather pass.
+    let max_log_w = log_n.saturating_sub(MIN_PARALLEL_N.trailing_zeros());
+    let log_w = par.threads().ilog2().min(max_log_w);
+    if log_w == 0 || n < MIN_PARALLEL_N {
+        fft(a, omega);
+        return;
+    }
+    let w = 1usize << log_w;
+    let log_sub_n = log_n - log_w;
+    let sub_n = 1usize << log_sub_n;
+    let new_omega = omega.pow(&[w as u64, 0, 0, 0]);
+
+    let mut tmp = vec![vec![F::ZERO; sub_n]; w];
+    std::thread::scope(|scope| {
+        let a = &*a;
+        for (j, tmp) in tmp.iter_mut().enumerate() {
+            scope.spawn(move || {
+                // Gather residue class j, weighted so the sub-FFT of size
+                // n/w lands on every w-th output of the full transform.
+                let omega_j = omega.pow(&[j as u64, 0, 0, 0]);
+                let omega_step = omega.pow(&[(j as u64) << log_sub_n, 0, 0, 0]);
+                let mut elt = F::ONE;
+                for (i, t) in tmp.iter_mut().enumerate() {
+                    for s in 0..w {
+                        let idx = (i + (s << log_sub_n)) & (a.len() - 1);
+                        *t += a[idx] * elt;
+                        elt *= omega_step;
+                    }
+                    elt *= omega_j;
+                }
+                fft(tmp, new_omega);
+            });
+        }
+    });
+
+    // Interleave the sub-transforms back into natural order.
+    let mask = w - 1;
+    par_chunks_mut(par, a, MIN_PARALLEL_N / 2, |offset, chunk| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            let idx = offset + i;
+            *v = tmp[idx & mask][idx >> log_w];
+        }
+    });
+}
+
+/// [`ifft`] under an explicit thread budget.
+pub fn ifft_with<F: PrimeField>(a: &mut [F], omega_inv: F, n_inv: F, par: Parallelism) {
+    fft_with(a, omega_inv, par);
+    par_chunks_mut(par, a, MIN_PARALLEL_N, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v *= n_inv;
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +170,29 @@ mod tests {
             }
             assert_eq!(*e, acc);
             x *= omega;
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_every_thread_count() {
+        // Above and below the parallel threshold, odd and power-of-two
+        // budgets: the transform is the same function of its input.
+        for k in [8u32, 11, 13] {
+            let n = 1usize << k;
+            let (omega, omega_inv, n_inv) = domain(k);
+            let coeffs: Vec<Fq> = (0..n as u64)
+                .map(|i| Fq::from_u64(i.wrapping_mul(0x9e37_79b9) ^ 0xabcd))
+                .collect();
+            let mut reference = coeffs.clone();
+            fft(&mut reference, omega);
+            for threads in [1usize, 2, 3, 4, 8] {
+                let par = Parallelism::new(threads);
+                let mut work = coeffs.clone();
+                fft_with(&mut work, omega, par);
+                assert_eq!(work, reference, "k={k} threads={threads}");
+                ifft_with(&mut work, omega_inv, n_inv, par);
+                assert_eq!(work, coeffs, "inverse k={k} threads={threads}");
+            }
         }
     }
 

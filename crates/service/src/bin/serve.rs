@@ -2,9 +2,14 @@
 //!
 //! ```sh
 //! cargo run --release -p poneglyph-service --bin poneglyph-serve -- \
-//!     [--port 7117] [--workers 4] [--cache 64] [--cache-mb 64] [--k 12] \
-//!     [--duration SECS] [--append-every SECS]
+//!     [--port 7117] [--workers 4] [--prover-threads 0] [--cache 64] \
+//!     [--cache-mb 64] [--k 12] [--duration SECS] [--append-every SECS]
 //! ```
+//!
+//! `--prover-threads N` caps how many threads a *single* proof may fan out
+//! across (0 = auto-detect). Trade it against `--workers`: more workers ×
+//! fewer threads maximizes throughput under concurrent load; fewer
+//! workers × more threads minimizes cold latency for a lone query.
 //!
 //! Hosts two small built-in demo databases (the quickstart's employee
 //! table — the default — and an orders table) so the service is drivable
@@ -81,13 +86,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: poneglyph-serve [--port N] [--workers N] [--cache N] [--cache-mb N] \
-             [--k N] [--duration SECS] [--append-every SECS]"
+            "usage: poneglyph-serve [--port N] [--workers N] [--prover-threads N] \
+             [--cache N] [--cache-mb N] [--k N] [--duration SECS] [--append-every SECS]"
         );
         return;
     }
     let port: u16 = parse_flag(&args, "--port", 7117);
     let workers: usize = parse_flag(&args, "--workers", 2);
+    let prover_threads: usize = parse_flag(&args, "--prover-threads", 0);
     let cache: usize = parse_flag(&args, "--cache", 64);
     let cache_mb: usize = parse_flag(&args, "--cache-mb", 64);
     let k: u32 = parse_flag(&args, "--k", 12);
@@ -100,11 +106,16 @@ fn main() {
         params,
         ServiceConfig {
             workers,
+            prover_threads,
             cache_capacity: cache,
             cache_bytes: cache_mb << 20,
             ..ServiceConfig::default()
         },
     ));
+    eprintln!(
+        "per-proof thread budget: {} (from --prover-threads {prover_threads}; 0 = auto)",
+        service.prover_parallelism().threads()
+    );
     let d_employees = service.attach_with_pks(employees_database(), &[("employees", "emp_id")]);
     let d_orders = service.attach_with_pks(orders_database(), &[("orders", "order_id")]);
     eprintln!(
@@ -210,8 +221,9 @@ fn main() {
     server.stop();
     let stats = service.stats();
     eprintln!(
-        "shutdown: {} proof(s) generated, {} cache hit(s), {} cache miss(es)",
-        stats.proofs_generated, stats.cache_hits, stats.cache_misses
+        "shutdown: {} proof(s) generated, {} cache hit(s), {} cache miss(es); \
+         {} worker(s) x {} prover thread(s)",
+        stats.proofs_generated, stats.cache_hits, stats.cache_misses, workers, stats.prover_threads
     );
     if stats.mutations > 0 {
         eprintln!(

@@ -56,6 +56,7 @@ mod service;
 
 pub use cache::LruCache;
 pub use client::{ClientError, ServiceClient, WireResponse, DEFAULT_SESSION_CAPACITY};
+pub use poneglyph_core::Parallelism;
 pub use protocol::{AppendAck, DatabaseInfo, ServerInfo, MAX_APPEND_CELLS, PROTOCOL_VERSION};
 pub use registry::{digest_hex, DatabaseRegistry};
 pub use server::{server_info, ServiceServer};

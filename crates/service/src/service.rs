@@ -14,7 +14,7 @@
 
 use crate::cache::LruCache;
 use crate::registry::{digest_hex, DatabaseRegistry, DbEntry};
-use poneglyph_core::{AppliedDelta, DeltaLog, ProverSession, QueryResponse, RowBatch};
+use poneglyph_core::{AppliedDelta, DeltaLog, Parallelism, ProverSession, QueryResponse, RowBatch};
 use poneglyph_pcs::IpaParams;
 use poneglyph_sql::{
     canonical_plan, canonical_plan_fingerprint, catalog_of, parse, plan_query, Database, Plan,
@@ -36,6 +36,14 @@ pub type CacheKey = ([u8; 64], [u8; 32]);
 pub struct ServiceConfig {
     /// Number of prover worker threads.
     pub workers: usize,
+    /// Per-proof thread budget: how many threads one worker may fan out
+    /// across *inside* a single proof (FFTs, MSMs, quotient chunks, IPA
+    /// folding). `0` = auto-detect (the `PONEGLYPH_PROVER_THREADS`
+    /// environment variable, else hardware parallelism). Operators trade
+    /// this against `workers`: many workers × few threads maximizes
+    /// throughput under load, few workers × many threads minimizes cold
+    /// latency. Proof bytes are identical either way.
+    pub prover_threads: usize,
     /// Maximum number of cached [`QueryResponse`]s (shared across all
     /// hosted databases).
     pub cache_capacity: usize,
@@ -57,6 +65,7 @@ impl Default for ServiceConfig {
             workers: std::thread::available_parallelism()
                 .map(|v| v.get().min(4))
                 .unwrap_or(2),
+            prover_threads: 0,
             cache_capacity: 64,
             cache_bytes: 64 << 20,
             queue_depth: 64,
@@ -179,6 +188,9 @@ pub struct ServiceStats {
     pub rows_appended: u64,
     /// Approximate bytes currently held by the proof cache.
     pub cache_bytes: u64,
+    /// The *effective* per-proof thread budget (the resolved value of
+    /// [`ServiceConfig::prover_threads`]; auto-detection already applied).
+    pub prover_threads: usize,
     /// Per-database breakdown, in digest order.
     pub databases: Vec<DatabaseStats>,
 }
@@ -191,6 +203,8 @@ struct Job {
 
 struct Shared {
     params: IpaParams,
+    /// Per-proof thread budget handed to every hosted [`ProverSession`].
+    parallelism: Parallelism,
     registry: RwLock<DatabaseRegistry>,
     cache: Mutex<LruCache<CacheKey, Arc<QueryResponse>>>,
     /// Keys currently being proven, for in-flight deduplication.
@@ -238,6 +252,7 @@ impl ProvingService {
     pub fn empty(params: IpaParams, config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             params,
+            parallelism: Parallelism::new(config.prover_threads),
             registry: RwLock::new(DatabaseRegistry::new()),
             cache: Mutex::new(LruCache::with_byte_budget(
                 config.cache_capacity,
@@ -293,7 +308,8 @@ impl ProvingService {
     /// SQL planning (joins are oriented PK-side right).
     pub fn attach_with_pks(&self, db: Database, pks: &[(&str, &str)]) -> [u8; 64] {
         let catalog = catalog_of(&db, pks);
-        let session = ProverSession::new(self.shared.params.clone(), db);
+        let session = ProverSession::new(self.shared.params.clone(), db)
+            .with_parallelism(self.shared.parallelism);
         let digest = session.digest();
         let shape = session.shape();
         let entry = Arc::new(DbEntry {
@@ -377,7 +393,8 @@ impl ProvingService {
         // Seeding the session with the updated commitment is what makes
         // the append O(batch); debug builds re-assert it equals a fresh
         // commit of the mutated database.
-        let session = ProverSession::with_commitment(self.shared.params.clone(), db, commitment);
+        let session = ProverSession::with_commitment(self.shared.params.clone(), db, commitment)
+            .with_parallelism(self.shared.parallelism);
         let shape = session.shape();
         let successor = Arc::new(DbEntry {
             digest: new_digest,
@@ -654,8 +671,15 @@ impl ProvingService {
             mutations: self.shared.mutations.load(Ordering::SeqCst),
             rows_appended: self.shared.rows_appended.load(Ordering::SeqCst),
             cache_bytes,
+            prover_threads: self.shared.parallelism.threads(),
             databases,
         }
+    }
+
+    /// The effective per-proof thread budget every hosted session proves
+    /// with (the resolved [`ServiceConfig::prover_threads`]).
+    pub fn prover_parallelism(&self) -> Parallelism {
+        self.shared.parallelism
     }
 
     /// A *consistent* snapshot for the info advertisement: the default
@@ -952,6 +976,54 @@ mod tests {
                 .expect("shared proof verifies");
             assert_eq!(verified, shared.response.result);
         }
+    }
+
+    #[test]
+    fn prover_threads_flow_from_config_to_sessions() {
+        let service = ProvingService::new(
+            IpaParams::setup(11),
+            tiny_db(),
+            ServiceConfig {
+                prover_threads: 3,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(service.prover_parallelism().threads(), 3);
+        assert_eq!(service.stats().prover_threads, 3);
+        // Sessions created by attach — and by the mutation path's
+        // successor swap — inherit the budget.
+        let digest = service.digest();
+        let stats = service
+            .append_rows(&digest, "t", vec![vec![5, 50]])
+            .expect("append");
+        let served = service
+            .query_on(&stats.new_digest, filter_plan(20))
+            .expect("proves under explicit budget");
+        assert_eq!(served.response.result.len(), 4);
+        // `0` resolves to a concrete budget rather than staying zero.
+        let auto = ProvingService::new(IpaParams::setup(11), tiny_db(), ServiceConfig::default());
+        assert!(auto.stats().prover_threads >= 1);
+    }
+
+    #[test]
+    fn session_stats_report_prover_stage_times() {
+        let service =
+            ProvingService::new(IpaParams::setup(11), tiny_db(), ServiceConfig::default());
+        service.query(filter_plan(20)).expect("prove");
+        let registry = service.shared.registry.read().expect("registry");
+        let entry = registry.default_entry().expect("entry");
+        let stats = entry.session.stats();
+        assert!(stats.commit_nanos > 0, "commit stage was timed");
+        assert!(stats.quotient_nanos > 0, "quotient stage was timed");
+        assert!(stats.open_nanos > 0, "open stage was timed");
+        // Monotone: a second (cache-missing) proof only grows them.
+        drop(registry);
+        service.query(filter_plan(25)).expect("second prove");
+        let registry = service.shared.registry.read().expect("registry");
+        let after = registry.default_entry().expect("entry").session.stats();
+        assert!(after.commit_nanos >= stats.commit_nanos);
+        assert!(after.quotient_nanos >= stats.quotient_nanos);
+        assert!(after.open_nanos >= stats.open_nanos);
     }
 
     #[test]

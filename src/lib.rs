@@ -13,6 +13,8 @@
 //! The facade re-exports the full stack:
 //!
 //! * [`arith`] — Pasta prime fields (254-bit, FFT-friendly)
+//! * [`par`] — scoped-thread parallelism primitives and the per-proof
+//!   thread budget ([`Parallelism`](par::Parallelism))
 //! * [`curve`] — Pallas group + Pippenger MSM
 //! * [`hash`] — BLAKE2b + Fiat–Shamir transcript
 //! * [`poly`] — polynomials, FFTs, evaluation domains
@@ -32,6 +34,7 @@ pub use poneglyph_baselines as baselines;
 pub use poneglyph_core as core;
 pub use poneglyph_curve as curve;
 pub use poneglyph_hash as hash;
+pub use poneglyph_par as par;
 pub use poneglyph_pcs as pcs;
 pub use poneglyph_plonkish as plonkish;
 pub use poneglyph_poly as poly;
@@ -43,8 +46,8 @@ pub use poneglyph_tpch as tpch;
 pub mod prelude {
     pub use poneglyph_core::{
         apply_append, check_query, database_shape, AppliedDelta, CommitmentRegistry,
-        DatabaseCommitment, DeltaLog, MutationError, ProverSession, QueryResponse, RowBatch,
-        SessionStats, VerifierSession,
+        DatabaseCommitment, DeltaLog, MutationError, Parallelism, ProverSession, QueryResponse,
+        RowBatch, SessionStats, VerifierSession,
     };
     #[allow(deprecated)] // one-shot wrappers: kept importable through 0.2
     pub use poneglyph_core::{prove_query, verify_query};
