@@ -1,0 +1,78 @@
+//! Walk every registered TPC-H plan shape, run the static circuit
+//! analyzer over each compiled circuit, and exit nonzero on Deny findings.
+//!
+//! ```text
+//! cargo run --release -p poneglyph-analyze --bin analyze [-- --scale N]
+//! ```
+//!
+//! Circuits are compiled in structure mode (`trace = None`) — exactly what
+//! a verifier derives from the plan shape and public table sizes — because
+//! the analyzer never reads advice values; what it certifies is the
+//! constraint structure itself.
+
+use poneglyph_analyze::{analyze, CircuitView};
+use poneglyph_core::{compile, GateSet};
+use poneglyph_tpch::{all_queries, generate};
+
+fn main() {
+    let mut scale: usize = 120;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive integer"));
+            }
+            "--help" | "-h" => {
+                println!("usage: analyze [--scale N]   (default scale: 120 lineitem rows)");
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let db = generate(scale);
+    let mut deny = 0usize;
+    let mut warn = 0usize;
+    for (name, plan) in all_queries(&db) {
+        let compiled = match compile(&db, &plan, None, GateSet::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{name}: compile failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        let config = poneglyph_analyze::shipped_config(&compiled);
+        let report = analyze(
+            &CircuitView::with_assignment(&compiled.cs, &compiled.asn),
+            &config,
+        );
+        deny += report.deny_count();
+        warn += report.warn_count();
+        let verdict = if report.is_clean() { "ok" } else { "DENY" };
+        println!(
+            "{name}: {verdict} (k={}, {} gates, {} lookups, {} shuffles, {} deny, {} warn, {} waived)",
+            compiled.asn.k,
+            compiled.cs.gates.len(),
+            compiled.cs.lookups.len(),
+            compiled.cs.shuffles.len(),
+            report.deny_count(),
+            report.warn_count(),
+            report.allowed.len(),
+        );
+        if !report.is_empty() || !report.allowed.is_empty() {
+            print!("{}", report.render());
+        }
+    }
+    println!("analyze: {deny} deny, {warn} warn across all registered plan shapes");
+    if deny > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("analyze: {msg}");
+    std::process::exit(2);
+}

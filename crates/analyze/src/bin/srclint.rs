@@ -1,0 +1,91 @@
+//! Scan workspace sources for forbidden patterns and exit nonzero on Deny
+//! findings.
+//!
+//! ```text
+//! cargo run -p poneglyph-analyze --bin srclint [-- <workspace-root>]
+//! ```
+//!
+//! Scans `crates/*/src` and the facade `src/` for non-test Rust code.
+//! `shims/` (offline stand-ins for external crates) and `tests/` (test
+//! code may unwrap freely) are out of scope by design.
+
+use poneglyph_analyze::{default_rules, lint_source, Severity};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => workspace_root(),
+    };
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    match std::fs::read_dir(&crates_dir) {
+        Ok(entries) => {
+            for entry in entries.flatten() {
+                collect_rs(&entry.path().join("src"), &mut files);
+            }
+        }
+        Err(e) => {
+            eprintln!("srclint: cannot read {}: {e}", crates_dir.display());
+            std::process::exit(2);
+        }
+    }
+    collect_rs(&root.join("src"), &mut files);
+    files.sort();
+
+    let rules = default_rules();
+    let mut deny = 0usize;
+    let mut warn = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("srclint: cannot read {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for finding in lint_source(&rel, &source, &rules) {
+            match finding.severity {
+                Severity::Deny => deny += 1,
+                Severity::Warn => warn += 1,
+            }
+            println!("{finding}");
+        }
+    }
+    println!(
+        "srclint: {deny} deny, {warn} warn across {} source files",
+        files.len()
+    );
+    if deny > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Default root: the current directory when it looks like the workspace,
+/// otherwise two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").is_file() && cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Seeded-defect coverage: start from a known-good circuit the analyzer
+//! accepts, plant one defect per detector class, and assert the right
+//! detector fires with the right provenance. Where the defect is invisible
+//! to the mock prover (the under-constraint cases), the test also asserts
+//! `mock_prove` passes — demonstrating the analyzer catches what witness
+//! checking cannot.
+
+use poneglyph_analyze::{
+    analyze, verify_full, AnalyzerConfig, CircuitView, Detector, FullCheckError, Severity,
+};
+use poneglyph_arith::{Fq, PrimeField};
+use poneglyph_plonkish::{
+    mock_prove, Assignment, Cell, Column, ConstraintSystem, Expression, MockError, Rotation,
+    MOCK_ERRORS_PER_CLASS,
+};
+
+const K: u32 = 6; // n = 64, usable rows = 58
+const ROWS: usize = 40;
+
+struct Base {
+    cs: ConstraintSystem<Fq>,
+    asn: Assignment<Fq>,
+    q: Column,
+    a: Column,
+    b: Column,
+    c: Column,
+    io: Column,
+}
+
+/// A small multiplication circuit with a gate, a lookup, and copies to a
+/// public instance column: `q·(a·b − c) = 0`, `b ∈ {0..8}`, `c[r] = io[r]`.
+fn base() -> Base {
+    let mut cs = ConstraintSystem::<Fq>::new();
+    let q = cs.fixed_column();
+    let t = cs.fixed_column();
+    let a = cs.advice_column();
+    let b = cs.advice_column();
+    let c = cs.advice_column();
+    let io = cs.instance_column();
+    cs.create_gate(
+        "mul",
+        vec![
+            Expression::fixed(q.index)
+                * (Expression::advice(a.index) * Expression::advice(b.index)
+                    - Expression::advice(c.index)),
+        ],
+    );
+    cs.add_lookup(
+        "range",
+        vec![Expression::fixed(q.index) * Expression::advice(b.index)],
+        vec![Expression::fixed(t.index)],
+    );
+    cs.enable_permutation(c);
+    cs.enable_permutation(io);
+
+    let mut asn = Assignment::new(&cs, K);
+    for v in 0..9u64 {
+        asn.assign_fixed(t, v as usize, Fq::from_u64(v));
+    }
+    for r in 0..ROWS {
+        asn.assign_fixed(q, r, Fq::ONE);
+        let (av, bv) = (r as u64 + 2, (r as u64 % 6) + 1);
+        asn.assign_advice(a, r, Fq::from_u64(av));
+        asn.assign_advice(b, r, Fq::from_u64(bv));
+        asn.assign_advice(c, r, Fq::from_u64(av * bv));
+        asn.assign_instance(io, r, Fq::from_u64(av * bv));
+        asn.copy(Cell { column: c, row: r }, Cell { column: io, row: r });
+    }
+    Base {
+        cs,
+        asn,
+        q,
+        a,
+        b,
+        c,
+        io,
+    }
+}
+
+fn report_of(base: &Base) -> poneglyph_analyze::AnalysisReport {
+    analyze(
+        &CircuitView::with_assignment(&base.cs, &base.asn),
+        &AnalyzerConfig::default(),
+    )
+}
+
+#[test]
+fn known_good_circuit_is_clean_everywhere() {
+    let base = base();
+    assert_eq!(mock_prove(&base.cs, &base.asn), Ok(()));
+    assert_eq!(base.asn.value(base.io, 0), base.asn.value(base.c, 0));
+    let report = report_of(&base);
+    assert!(
+        report.is_empty(),
+        "unexpected findings:\n{}",
+        report.render()
+    );
+    assert!(verify_full(&base.cs, &base.asn, &AnalyzerConfig::default()).is_ok());
+}
+
+#[test]
+fn orphaned_advice_column_fires_unconstrained_advice() {
+    let mut base = base();
+    let orphan = base.cs.advice_column();
+    base.asn.advice.push(vec![Fq::ZERO; base.asn.n]);
+
+    // The defect is invisible to witness checking...
+    assert_eq!(mock_prove(&base.cs, &base.asn), Ok(()));
+    // ...and fatal to the analyzer, with column provenance.
+    let report = report_of(&base);
+    let f = report
+        .of(Detector::UnconstrainedAdvice)
+        .next()
+        .expect("detector must fire");
+    assert_eq!(f.severity, Severity::Deny);
+    assert_eq!(f.subject, format!("advice[{}]", orphan.index));
+    assert_eq!(f.column, Some(orphan));
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn dropping_a_gate_orphans_its_advice() {
+    let mut base = base();
+    base.cs.gates.clear();
+    // `b` stays live via the lookup and `c` is pinned to the public `io`
+    // column through copies; only `a` becomes free junk.
+    assert_eq!(mock_prove(&base.cs, &base.asn), Ok(()));
+    let report = report_of(&base);
+    let subjects: Vec<&str> = report
+        .of(Detector::UnconstrainedAdvice)
+        .map(|f| f.subject.as_str())
+        .collect();
+    assert_eq!(subjects, vec![format!("advice[{}]", base.a.index)]);
+}
+
+#[test]
+fn copy_only_component_without_anchor_is_unconstrained() {
+    let mut base = base();
+    // Two fresh advice columns copied to each other and nothing else: the
+    // component is internally consistent junk.
+    let x = base.cs.advice_column();
+    let y = base.cs.advice_column();
+    base.cs.enable_permutation(x);
+    base.cs.enable_permutation(y);
+    base.asn.advice.push(vec![Fq::ZERO; base.asn.n]);
+    base.asn.advice.push(vec![Fq::ZERO; base.asn.n]);
+    base.asn
+        .copy(Cell { column: x, row: 0 }, Cell { column: y, row: 0 });
+
+    assert_eq!(mock_prove(&base.cs, &base.asn), Ok(()));
+    let report = report_of(&base);
+    let subjects: Vec<&str> = report
+        .of(Detector::UnconstrainedAdvice)
+        .map(|f| f.subject.as_str())
+        .collect();
+    assert_eq!(
+        subjects,
+        vec![
+            format!("advice[{}]", x.index),
+            format!("advice[{}]", y.index)
+        ]
+    );
+}
+
+#[test]
+fn inflated_gate_degree_fires_degree_bound() {
+    let mut base = base();
+    // q · a^9: gated degree 11.
+    let mut pow = Expression::advice(base.a.index);
+    for _ in 0..8 {
+        pow = pow * Expression::advice(base.a.index);
+    }
+    base.cs
+        .create_gate("pow", vec![Expression::fixed(base.q.index) * pow]);
+    // The degree audit is purely structural; against the default review
+    // threshold it warns.
+    let report = report_of(&base);
+    let warn = report
+        .of(Detector::DegreeBound)
+        .find(|f| f.subject == "gate[pow@1]#0")
+        .expect("degree warning must fire");
+    assert_eq!(warn.severity, Severity::Warn);
+
+    // Against an explicit quotient extension the finding becomes fatal.
+    let view = CircuitView::with_assignment(&base.cs, &base.asn).with_quotient_degree(8);
+    let report = analyze(&view, &AnalyzerConfig::default());
+    let deny = report
+        .of(Detector::DegreeBound)
+        .find(|f| f.subject == "gate[pow@1]#0")
+        .expect("degree deny must fire");
+    assert_eq!(deny.severity, Severity::Deny);
+}
+
+#[test]
+fn rotation_past_blinding_rows_fires_rotation_range() {
+    let mut base = base();
+    let usable = base.asn.usable_rows;
+    // A selector live on the last usable row whose gate reads NEXT: the
+    // query lands in the blinding region the prover fills with randomness.
+    let q_edge = base.cs.fixed_column();
+    base.cs.create_gate(
+        "edge",
+        vec![Expression::fixed(q_edge.index) * Expression::advice_at(base.a.index, Rotation::NEXT)],
+    );
+    base.asn.fixed.push(vec![Fq::ZERO; base.asn.n]);
+    base.asn.fixed[q_edge.index][usable - 1] = Fq::ONE;
+
+    let report = report_of(&base);
+    let f = report
+        .of(Detector::RotationRange)
+        .next()
+        .expect("detector must fire");
+    assert_eq!(f.severity, Severity::Deny);
+    assert_eq!(f.subject, "gate[edge@1]#0");
+    assert_eq!(f.column, Some(base.a));
+    assert_eq!(f.rotation, Some(1));
+    assert_eq!(f.row, Some(usable - 1));
+}
+
+#[test]
+fn never_set_selector_fires_trivial_gate() {
+    let mut base = base();
+    let q_dead = base.cs.fixed_column();
+    base.cs.create_gate(
+        "ghost",
+        vec![Expression::fixed(q_dead.index) * Expression::advice(base.a.index)],
+    );
+    base.asn.fixed.push(vec![Fq::ZERO; base.asn.n]);
+
+    // The gate looks like protection and proves nothing; mock is happy.
+    assert_eq!(mock_prove(&base.cs, &base.asn), Ok(()));
+    let f = report_of(&base)
+        .of(Detector::TrivialGate)
+        .next()
+        .expect("detector must fire")
+        .clone();
+    assert_eq!(f.severity, Severity::Deny);
+    assert_eq!(f.subject, "gate[ghost@1]#0");
+}
+
+#[test]
+fn emptied_lookup_table_fires_lookup_shape() {
+    let mut base = base();
+    // Point the lookup's table at a never-written fixed column: it covers
+    // only the all-zero tuple.
+    let z = base.cs.fixed_column();
+    base.asn.fixed.push(vec![Fq::ZERO; base.asn.n]);
+    base.cs.lookups[0].table = vec![Expression::fixed(z.index)];
+
+    let report = report_of(&base);
+    let f = report
+        .of(Detector::LookupShape)
+        .next()
+        .expect("detector must fire");
+    assert_eq!(f.severity, Severity::Deny);
+    assert_eq!(f.subject, "lookup[range@0]");
+    assert!(f.detail.contains("all-zero tuple"), "detail: {}", f.detail);
+}
+
+#[test]
+fn lookup_arity_mismatch_fires_lookup_shape() {
+    let mut base = base();
+    base.cs.lookups[0]
+        .input
+        .push(Expression::advice(base.a.index));
+    let report = report_of(&base);
+    let f = report
+        .of(Detector::LookupShape)
+        .next()
+        .expect("detector must fire");
+    assert_eq!(f.severity, Severity::Deny);
+    assert!(f.detail.contains("arity"), "detail: {}", f.detail);
+}
+
+#[test]
+fn table_missing_zero_tuple_fires_coverage_check() {
+    let mut base = base();
+    // Shrink the table to {1..9}: rows outside the gated region produce the
+    // zero input tuple, which the table then cannot absorb — an honest
+    // witness cannot satisfy the lookup.
+    let t1 = base.cs.fixed_column();
+    base.asn.fixed.push(vec![Fq::ZERO; base.asn.n]);
+    for v in 0..base.asn.usable_rows {
+        base.asn.fixed[t1.index][v] = Fq::from_u64(v as u64 % 9 + 1);
+    }
+    base.cs.lookups[0].table = vec![Expression::fixed(t1.index)];
+
+    let report = report_of(&base);
+    let f = report
+        .of(Detector::LookupShape)
+        .next()
+        .expect("detector must fire");
+    assert_eq!(f.severity, Severity::Deny);
+    assert!(
+        f.detail.contains("zero input tuple"),
+        "detail: {}",
+        f.detail
+    );
+}
+
+#[test]
+fn dead_shuffle_fires_trivial_gate() {
+    let mut base = base();
+    let q_dead = base.cs.fixed_column();
+    base.asn.fixed.push(vec![Fq::ZERO; base.asn.n]);
+    let gated = |col: Column| Expression::fixed(q_dead.index) * Expression::advice(col.index);
+    base.cs
+        .add_shuffle("perm", vec![gated(base.a)], vec![gated(base.b)]);
+
+    assert_eq!(mock_prove(&base.cs, &base.asn), Ok(()));
+    let report = report_of(&base);
+    let f = report
+        .of(Detector::TrivialGate)
+        .find(|f| f.subject == "shuffle[perm@0]")
+        .expect("detector must fire");
+    assert_eq!(f.severity, Severity::Deny);
+}
+
+#[test]
+fn dead_and_unbound_columns_fire_dead_column() {
+    let mut base = base();
+    let dead_fixed = base.cs.fixed_column();
+    base.asn.fixed.push(vec![Fq::ZERO; base.asn.n]);
+    let unbound_io = base.cs.instance_column();
+    base.asn.instance.push(vec![Fq::ZERO; base.asn.n]);
+
+    let report = report_of(&base);
+    let fixed_finding = report
+        .of(Detector::DeadColumn)
+        .find(|f| f.subject == format!("fixed[{}]", dead_fixed.index))
+        .expect("dead fixed column must be reported");
+    assert_eq!(fixed_finding.severity, Severity::Warn);
+    let io_finding = report
+        .of(Detector::DeadColumn)
+        .find(|f| f.subject == format!("instance[{}]", unbound_io.index))
+        .expect("unbound instance column must be reported");
+    assert_eq!(io_finding.severity, Severity::Deny);
+}
+
+#[test]
+fn duplicate_constraints_fire_duplicate_constraint() {
+    let mut base = base();
+    let dup = base.cs.gates[0].polys[0].clone();
+    base.cs.create_gate("mul-again", vec![dup]);
+    let report = report_of(&base);
+    let f = report
+        .of(Detector::DuplicateConstraint)
+        .next()
+        .expect("detector must fire");
+    assert_eq!(f.severity, Severity::Warn);
+    assert_eq!(f.subject, "gate[mul-again@1]#0");
+    assert!(f.detail.contains("gate[mul@0]#0"), "detail: {}", f.detail);
+}
+
+#[test]
+fn allow_list_waives_exact_and_prefix_subjects() {
+    let mut base = base();
+    let orphan = base.cs.advice_column();
+    base.asn.advice.push(vec![Fq::ZERO; base.asn.n]);
+
+    let exact = AnalyzerConfig::new().allowing(
+        Detector::UnconstrainedAdvice,
+        format!("advice[{}]", orphan.index),
+        "test waiver",
+    );
+    let report = analyze(&CircuitView::with_assignment(&base.cs, &base.asn), &exact);
+    assert!(report.is_empty());
+    assert_eq!(report.allowed.len(), 1);
+    assert_eq!(report.allowed[0].1, "test waiver");
+
+    let prefix =
+        AnalyzerConfig::new().allowing(Detector::UnconstrainedAdvice, "advice[*", "prefix waiver");
+    let report = analyze(&CircuitView::with_assignment(&base.cs, &base.asn), &prefix);
+    assert!(report.is_empty());
+
+    // A waiver for a different detector class must not match.
+    let wrong = AnalyzerConfig::new().allowing(Detector::DeadColumn, "advice[*", "wrong class");
+    let report = analyze(&CircuitView::with_assignment(&base.cs, &base.asn), &wrong);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn verify_full_orders_analysis_before_witness_checking() {
+    // Sound circuit, sound witness.
+    let base = base();
+    assert!(verify_full(&base.cs, &base.asn, &AnalyzerConfig::default()).is_ok());
+
+    // Structurally unsound: rejected by the analyzer even though the mock
+    // prover sees nothing wrong.
+    let mut unsound = self::base();
+    unsound.cs.advice_column();
+    unsound.asn.advice.push(vec![Fq::ZERO; unsound.asn.n]);
+    assert_eq!(mock_prove(&unsound.cs, &unsound.asn), Ok(()));
+    match verify_full(&unsound.cs, &unsound.asn, &AnalyzerConfig::default()) {
+        Err(FullCheckError::Analysis(report)) => assert!(report.deny_count() > 0),
+        other => panic!("expected analysis rejection, got {other:?}"),
+    }
+
+    // Sound structure, broken witness: rejected by the mock stage.
+    let mut bad_witness = self::base();
+    bad_witness.asn.advice[bad_witness.c.index][0] += Fq::ONE;
+    match verify_full(
+        &bad_witness.cs,
+        &bad_witness.asn,
+        &AnalyzerConfig::default(),
+    ) {
+        Err(FullCheckError::Constraints(errors)) => assert!(!errors.is_empty()),
+        other => panic!("expected constraint rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn mock_prover_reports_every_class_bounded_per_class() {
+    let mut base = base();
+    // Corrupt every product cell: ROWS gate violations and ROWS copy
+    // violations (c no longer matches io). Also plant one lookup violation.
+    for r in 0..ROWS {
+        base.asn.advice[base.c.index][r] += Fq::from_u64(100);
+    }
+    base.asn.advice[base.b.index][2] = Fq::from_u64(100);
+
+    let errors = mock_prove(&base.cs, &base.asn).unwrap_err();
+    let gates = errors
+        .iter()
+        .filter(|e| matches!(e, MockError::Gate { .. }))
+        .count();
+    let copies = errors
+        .iter()
+        .filter(|e| matches!(e, MockError::Copy { .. }))
+        .count();
+    let lookups = errors
+        .iter()
+        .filter(|e| matches!(e, MockError::Lookup { .. }))
+        .count();
+    // Each class is truncated independently; a flood of gate violations
+    // must not hide the copy and lookup defects.
+    assert_eq!(gates, MOCK_ERRORS_PER_CLASS);
+    assert_eq!(copies, MOCK_ERRORS_PER_CLASS);
+    assert_eq!(lookups, 1);
+}

@@ -31,8 +31,8 @@ pub fn filter_count_circuit(
     let zero_in = one_in + 1;
     let mut inputs = Vec::with_capacity(num_inputs);
     for r in 0..rows {
-        for c in 0..ncols {
-            let v = columns[c][r];
+        for col in columns {
+            let v = col[r];
             for j in 0..bits {
                 inputs.push(Fq::from_u64((v >> j) & 1));
             }
@@ -51,9 +51,8 @@ pub fn filter_count_circuit(
     let block0 = 2 + 2 * bits;
     let mut gates = Vec::with_capacity(rows * ncols * block0 + 2);
     for r in 0..rows {
-        for c in 0..ncols {
+        for (c, &t) in thresholds.iter().enumerate() {
             let base = r * row_width + c * bits;
-            let t = thresholds[c];
             gates.push((GateKind::Add, one_in, zero_in)); // P = 1
             gates.push((GateKind::Add, zero_in, zero_in)); // acc = 0
             for j in 0..bits {
@@ -87,14 +86,14 @@ pub fn filter_count_circuit(
         let block_a = 3 + 2 * top;
         let mut ga = Vec::with_capacity(rows * ncols * block_a + 2);
         for r in 0..rows {
-            for c in 0..ncols {
+            for (c, &t_top) in t_bits.iter().enumerate() {
                 let b0 = (r * ncols + c) * block;
                 let p = b0;
                 let acc = b0 + 1;
                 let e = |j: usize| b0 + 2 + j;
                 let n = |j: usize| b0 + 2 + rem + j;
                 ga.push((GateKind::Mul, p, e(top))); // newP
-                if t_bits[c] {
+                if t_top {
                     ga.push((GateKind::Mul, n(top), p)); // contrib
                 } else {
                     ga.push((GateKind::Mul, zero, zero)); // contrib = 0

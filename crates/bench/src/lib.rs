@@ -24,25 +24,25 @@ unsafe impl GlobalAlloc for PeakAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
-            let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            PEAK.fetch_max(cur, Ordering::Relaxed);
+            let cur = CURRENT.fetch_add(layout.size(), Ordering::SeqCst) + layout.size();
+            PEAK.fetch_max(cur, Ordering::SeqCst);
         }
         p
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) };
-        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        CURRENT.fetch_sub(layout.size(), Ordering::SeqCst);
     }
 }
 
 impl PeakAlloc {
     /// Reset the peak to the current level.
     pub fn reset_peak() {
-        PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+        PEAK.store(CURRENT.load(Ordering::SeqCst), Ordering::SeqCst);
     }
     /// Peak heap bytes since the last reset.
     pub fn peak_bytes() -> usize {
-        PEAK.load(Ordering::Relaxed)
+        PEAK.load(Ordering::SeqCst)
     }
 }
 

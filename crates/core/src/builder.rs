@@ -26,6 +26,11 @@ pub struct Builder {
     /// encoding the paper contrasts against (§5.3/§5.4): 8× the columns
     /// and no lookup arguments.
     pub bitwise_ranges: bool,
+    /// Advice column indices that hold scanned base-table data. Their
+    /// binding is the database-commitment check (ROADMAP §3.3), not a
+    /// circuit gate; the static analyzer's shipped allow-list is scoped to
+    /// exactly this set.
+    pub scan_advice: Vec<usize>,
     fixed_writes: Vec<(Column, usize, Fq)>,
     advice_writes: Vec<(Column, usize, Fq)>,
     instance_writes: Vec<(Column, usize, Fq)>,
@@ -76,6 +81,7 @@ impl Builder {
             cs,
             with_witness,
             bitwise_ranges: false,
+            scan_advice: Vec::new(),
             fixed_writes: Vec::new(),
             advice_writes: Vec::new(),
             instance_writes: Vec::new(),

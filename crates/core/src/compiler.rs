@@ -75,6 +75,12 @@ pub struct CompiledQuery {
     pub output_cap: usize,
     /// Output column names.
     pub output_names: Vec<String>,
+    /// Advice column indices holding scanned base-table data. These are
+    /// public database values, not free witness: their binding check is the
+    /// per-column database commitment (ROADMAP §3.3), so the static
+    /// analyzer's shipped allow-list waives unconstrained-advice findings
+    /// for exactly this set and nothing else.
+    pub scan_columns: Vec<usize>,
 }
 
 /// One operator's output inside the circuit.
@@ -142,6 +148,7 @@ pub fn compile(
         .into_iter()
         .map(|(n, _)| n)
         .collect();
+    let scan_columns = b.scan_advice.clone();
     let (cs, asn) = b.finish();
     Ok(CompiledQuery {
         cs,
@@ -149,6 +156,7 @@ pub fn compile(
         instance,
         output_cap,
         output_names,
+        scan_columns,
     })
 }
 
@@ -234,10 +242,6 @@ impl<'a> Compiler<'a> {
             .ok_or_else(|| format!("unknown table {table}"))?;
         let cap = t.len().max(1);
         let q = self.b.selector(cap);
-        // Base rows are real up to the (public) table length; an empty
-        // table still occupies one all-dummy row so downstream regions have
-        // nonzero capacity.
-        let q_data = self.b.selector(t.len());
         let witness = trace.is_some();
         let mut vals = Vec::with_capacity(t.schema.width());
         let mut cols = Vec::with_capacity(t.schema.width());
@@ -249,22 +253,27 @@ impl<'a> Compiler<'a> {
             } else {
                 vec![0; cap]
             };
-            cols.push(self.b.advice_u64(&v));
+            let col = self.b.advice_u64(&v);
+            self.b.scan_advice.push(col.index);
+            cols.push(col);
             vals.push(v);
         }
         let reals: Vec<bool> = (0..cap).map(|r| r < t.len()).collect();
         let real = self
             .b
             .advice_u64(&reals.iter().map(|b| *b as u64).collect::<Vec<_>>());
-        self.b.cs.create_gate(
-            "scan-real",
-            vec![
-                Expression::fixed(q_data.index)
-                    * (Expression::advice(real.index) - Expression::Constant(Fq::ONE)),
-                (Expression::fixed(q.index) - Expression::fixed(q_data.index))
-                    * Expression::advice(real.index),
-            ],
-        );
+        // A nonempty table fills its whole region (`cap == t.len()`), so a
+        // single clause pins `real = 1` on every data row; an empty table
+        // occupies one all-dummy row whose real bit must be 0. Emitting only
+        // the live clause keeps the gate free of identically-zero
+        // polynomials (which the static analyzer rightly denies).
+        let clause = if !t.is_empty() {
+            Expression::fixed(q.index)
+                * (Expression::advice(real.index) - Expression::Constant(Fq::ONE))
+        } else {
+            Expression::fixed(q.index) * Expression::advice(real.index)
+        };
+        self.b.cs.create_gate("scan-real", vec![clause]);
         Ok(Region {
             cols,
             real,
@@ -1027,7 +1036,7 @@ impl<'a> Compiler<'a> {
                         let mut out = Vec::with_capacity(cap);
                         let mut outu = Vec::with_capacity(cap);
                         let mut acc: u64 = 0;
-                        for r in 0..cap {
+                        for (r, &same_r) in same_vals.iter().enumerate() {
                             let contrib = if sorted.reals[r] {
                                 if matches!(func, AggFunc::Count) {
                                     1
@@ -1037,7 +1046,7 @@ impl<'a> Compiler<'a> {
                             } else {
                                 0
                             };
-                            acc = if r > 0 && same_vals[r] { acc } else { 0 } + contrib;
+                            acc = if r > 0 && same_r { acc } else { 0 } + contrib;
                             out.push(Fq::from_u64(acc));
                             outu.push(acc);
                         }
@@ -1072,10 +1081,10 @@ impl<'a> Compiler<'a> {
                         let mut m = Vec::with_capacity(cap);
                         let mut t = Vec::with_capacity(cap);
                         let mut acc: u64 = 0;
-                        for r in 0..cap {
+                        for (r, &same_r) in same_vals.iter().enumerate() {
                             let v = sorted.vals[nk + ai][r];
                             t.push(acc);
-                            let new = if r > 0 && same_vals[r] {
+                            let new = if r > 0 && same_r {
                                 if is_min {
                                     acc.min(v)
                                 } else {
@@ -1184,13 +1193,14 @@ impl<'a> Compiler<'a> {
         // Output region: group keys + aggregate results, compacted.
         let (out_vals, out_reals): (Vec<Vec<u64>>, Vec<bool>) = if witness {
             let mut cols: Vec<Vec<u64>> = vec![Vec::new(); nk + na];
-            for r in 0..cap {
-                if evals[r] {
-                    for kc in 0..nk {
-                        cols[kc].push(sorted.vals[kc][r]);
+            let (key_cols, agg_cols) = cols.split_at_mut(nk);
+            for (r, &emit) in evals.iter().enumerate() {
+                if emit {
+                    for (col, src) in key_cols.iter_mut().zip(&sorted.vals) {
+                        col.push(src[r]);
                     }
-                    for ac in 0..na {
-                        cols[nk + ac].push(run_u64[ac][r]);
+                    for (col, src) in agg_cols.iter_mut().zip(&run_u64) {
+                        col.push(src[r]);
                     }
                 }
             }
@@ -1221,9 +1231,9 @@ impl<'a> Compiler<'a> {
             let oe = Expression::advice(out_real.index);
             let mut lhs = vec![qe.clone() * ee.clone()];
             let mut rhs = vec![qe.clone() * oe.clone()];
-            for kc in 0..nk {
-                lhs.push(qe.clone() * (ee.clone() * Expression::advice(sorted.cols[kc].index)));
-                rhs.push(qe.clone() * (oe.clone() * Expression::advice(out_cols[kc].index)));
+            for (sc, oc) in sorted.cols.iter().zip(&out_cols).take(nk) {
+                lhs.push(qe.clone() * (ee.clone() * Expression::advice(sc.index)));
+                rhs.push(qe.clone() * (oe.clone() * Expression::advice(oc.index)));
             }
             for ac in 0..na {
                 lhs.push(qe.clone() * (ee.clone() * Expression::advice(run_cols[ac].index)));
@@ -1812,10 +1822,10 @@ impl WideVal {
     fn sub(&self, other: &Self) -> Self {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
-            let (r, b1) = self.0[i].overflowing_sub(other.0[i]);
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            let (r, b1) = a.overflowing_sub(b);
             let (r, b2) = r.overflowing_sub(borrow);
-            out[i] = r;
+            *o = r;
             borrow = (b1 || b2) as u64;
         }
         assert_eq!(borrow, 0, "witness not sorted");

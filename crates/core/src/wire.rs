@@ -151,7 +151,7 @@ impl QueryResponse {
             let n = r.read_len()?;
             let mut col = Vec::with_capacity(n);
             for _ in 0..n {
-                let repr: [u8; 32] = r.take(32)?.try_into().unwrap();
+                let repr: [u8; 32] = r.take_arr()?;
                 let e = Fq::from_repr(&repr)
                     .ok_or_else(|| WireError::Invalid("non-canonical field element".into()))?;
                 col.push(e);

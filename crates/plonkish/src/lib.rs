@@ -42,7 +42,7 @@ pub use keygen::{
     instrument, keygen, keygen_pk, keygen_pk_with, keygen_vk, keygen_vk_with, ProvingKey,
     VerifyingKey,
 };
-pub use mock::{mock_prove, MockError};
+pub use mock::{mock_prove, MockError, MOCK_ERRORS_PER_CLASS};
 pub use proof::{open_schedule, PolyId, Proof};
 pub use prover::{prove, prove_timed, prove_with, ProveError, ProverTimings};
 pub use verifier::{verify, verify_accumulate, VerifyError};

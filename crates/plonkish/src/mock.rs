@@ -57,7 +57,16 @@ impl std::fmt::Display for MockError {
     }
 }
 
-/// Check every constraint of `cs` against `asn`.
+/// How many violations of each class (gate / copy / lookup / shuffle) the
+/// mock prover reports before truncating that class. Truncation never
+/// abandons the *other* classes: a circuit with 1000 gate violations still
+/// reports its copy and lookup defects, so analyzer and gadget tests see
+/// the complete defect spectrum in one run.
+pub const MOCK_ERRORS_PER_CLASS: usize = 32;
+
+/// Check every constraint of `cs` against `asn`, collecting all violations
+/// (bounded to [`MOCK_ERRORS_PER_CLASS`] per class) rather than stopping at
+/// the first.
 ///
 /// Blinding rows of advice columns are filled with deterministic junk so
 /// that gates which accidentally reach into the blinding region fail here
@@ -84,7 +93,8 @@ pub fn mock_prove(cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq>) -> Result<(),
 
     let mut errors = Vec::new();
 
-    for gate in &cs.gates {
+    let mut gate_errors = 0usize;
+    'gates: for gate in &cs.gates {
         for (pi, poly) in gate.polys.iter().enumerate() {
             let values = eval_rows(poly, &src, n);
             for (row, v) in values[..u].iter().enumerate() {
@@ -94,22 +104,29 @@ pub fn mock_prove(cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq>) -> Result<(),
                         poly: pi,
                         row,
                     });
-                    if errors.len() > 32 {
-                        return Err(errors);
+                    gate_errors += 1;
+                    if gate_errors == MOCK_ERRORS_PER_CLASS {
+                        break 'gates;
                     }
                 }
             }
         }
     }
 
+    let mut copy_errors = 0usize;
     for (a, b) in &asn.copies {
         if asn.value(a.column, a.row) != asn.value(b.column, b.row) {
             errors.push(MockError::Copy { a: *a, b: *b });
+            copy_errors += 1;
+            if copy_errors == MOCK_ERRORS_PER_CLASS {
+                break;
+            }
         }
     }
 
     // θ does not matter for membership; compare tuples directly.
-    for lk in &cs.lookups {
+    let mut lookup_errors = 0usize;
+    'lookups: for lk in &cs.lookups {
         let inputs: Vec<Vec<Fq>> = lk.input.iter().map(|e| eval_rows(e, &src, n)).collect();
         let tables: Vec<Vec<Fq>> = lk.table.iter().map(|e| eval_rows(e, &src, n)).collect();
         let mut table_set: HashMap<Vec<[u8; 32]>, ()> = HashMap::with_capacity(u);
@@ -123,8 +140,9 @@ pub fn mock_prove(cs: &ConstraintSystem<Fq>, asn: &Assignment<Fq>) -> Result<(),
                     name: lk.name.clone(),
                     row: r,
                 });
-                if errors.len() > 32 {
-                    return Err(errors);
+                lookup_errors += 1;
+                if lookup_errors == MOCK_ERRORS_PER_CLASS {
+                    break 'lookups;
                 }
             }
         }

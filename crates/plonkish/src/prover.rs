@@ -643,14 +643,13 @@ pub fn prove_timed(
         }
 
         // (d) shuffles.
-        for s in 0..cs.shuffles.len() {
-            let z = &shuffle_z_cosets[s];
-            let inputs: Vec<Vec<Fq>> = cs.shuffles[s]
+        for (shuffle, z) in cs.shuffles.iter().zip(&shuffle_z_cosets) {
+            let inputs: Vec<Vec<Fq>> = shuffle
                 .input
                 .iter()
                 .map(|e| eval_extended_chunk(e, &coset_src, ext_n, offset, len))
                 .collect();
-            let targets: Vec<Vec<Fq>> = cs.shuffles[s]
+            let targets: Vec<Vec<Fq>> = shuffle
                 .target
                 .iter()
                 .map(|e| eval_extended_chunk(e, &coset_src, ext_n, offset, len))

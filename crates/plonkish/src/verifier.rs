@@ -142,10 +142,10 @@ fn verify_inner(
     // Replay the transcript.
     let mut transcript = Transcript::new(b"poneglyph-plonk");
     vk.absorb_into(&mut transcript);
-    for col in 0..cs.num_instance {
+    for inst in instance {
         let mut blob = Vec::with_capacity(u * 32);
         for r in 0..u {
-            let v = instance[col].get(r).copied().unwrap_or(Fq::ZERO);
+            let v = inst.get(r).copied().unwrap_or(Fq::ZERO);
             blob.extend_from_slice(&v.to_repr());
         }
         transcript.absorb_bytes(b"instance", &blob);

@@ -96,7 +96,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
         Err(e) => return Err(e),
     }
     r.read_exact(&mut head[1..])?;
-    let len = u32::from_le_bytes(head[1..].try_into().unwrap()) as usize;
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&head[1..]);
+    let len = u32::from_le_bytes(len_bytes) as usize;
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -177,7 +179,7 @@ impl DatabaseInfo {
     }
 
     fn read(r: &mut ByteReader<'_>, total_cells: &mut u64) -> Result<Self, WireError> {
-        let digest: [u8; 64] = r.take(64)?.try_into().unwrap();
+        let digest: [u8; 64] = r.take_arr()?;
         let epoch = r.u64()?;
         let ntables = r.read_len()?;
         let mut tables = Vec::with_capacity(ntables);
@@ -253,7 +255,7 @@ impl ServerInfo {
         let max_k = r.u32()?;
         let default_digest = match r.u8()? {
             0 => None,
-            1 => Some(r.take(64)?.try_into().unwrap()),
+            1 => Some(r.take_arr()?),
             other => return Err(WireError::BadTag(other)),
         };
         let ndbs = r.read_len()?;
@@ -285,7 +287,8 @@ pub fn split_digest(payload: &[u8]) -> Result<([u8; 64], &[u8]), WireError> {
     if payload.len() < 64 {
         return Err(WireError::Truncated);
     }
-    let digest: [u8; 64] = payload[..64].try_into().unwrap();
+    let mut digest = [0u8; 64];
+    digest.copy_from_slice(&payload[..64]);
     Ok((digest, &payload[64..]))
 }
 
@@ -406,7 +409,7 @@ impl AppendAck {
     /// Deserialize; clean errors on malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = ByteReader::new(bytes);
-        let new_digest: [u8; 64] = r.take(64)?.try_into().unwrap();
+        let new_digest: [u8; 64] = r.take_arr()?;
         let epoch = r.u64()?;
         let appended_rows = r.u64()?;
         let entries_invalidated = r.u64()?;

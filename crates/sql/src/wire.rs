@@ -93,6 +93,14 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// Read a fixed-size array. Unlike slice `try_into`, truncation is an
+    /// error value — decode paths must stay panic-free.
+    pub fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
@@ -100,22 +108,22 @@ impl<'a> ByteReader<'a> {
 
     /// Read a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_arr()?))
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
 
     /// Read a little-endian `i64`.
     pub fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_arr()?))
     }
 
     /// Read a `u32` length field, enforcing the sanity bound.

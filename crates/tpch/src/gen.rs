@@ -204,12 +204,12 @@ pub fn generate(lineitem_rows: usize) -> Database {
         ("ps_availqty", ColumnType::Int),
     ]));
     let mut ps_pairs = Vec::new();
-    for p in 0..n_parts {
+    for (p, &price) in part_price.iter().enumerate() {
         for i in 0..4usize {
             let s = ((p + i * (n_suppliers / 4).max(1)) % n_suppliers) as i64 + 1;
             // supplycost strictly below half the retail price: keeps Q9
             // profits positive, as required by the circuit value domain.
-            let cost = rng.range(100, part_price[p] / 2 - 1);
+            let cost = rng.range(100, price / 2 - 1);
             partsupp.push_row(&[
                 ps_key(p as i64 + 1, s),
                 p as i64 + 1,

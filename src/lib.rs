@@ -28,7 +28,10 @@
 //! * [`baselines`] — ZKSQL-style interactive proving and Libra-style GKR
 //! * [`service`] — the long-lived proving service (job queue, proof cache,
 //!   TCP wire protocol)
+//! * [`analyze`] — static circuit-soundness analysis and the workspace
+//!   source linter (the `analyze` and `srclint` binaries)
 
+pub use poneglyph_analyze as analyze;
 pub use poneglyph_arith as arith;
 pub use poneglyph_baselines as baselines;
 pub use poneglyph_core as core;

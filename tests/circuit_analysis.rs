@@ -1,0 +1,74 @@
+//! Facade: every shipped TPC-H circuit passes the static soundness
+//! analyzer with zero findings — the only waivers are the documented
+//! scan-column entries (base-table data whose binding is the §3.3
+//! database-commitment check, not a circuit gate). This pins the
+//! zero-findings state: a new operator circuit that ships an
+//! under-constrained column, a never-set selector, or a blinding-region
+//! rotation fails here before it ever reaches proving.
+
+use poneglyph_analyze::{shipped_config, verify_full, AnalyzeCircuit, Detector};
+use poneglyph_core::{compile, GateSet};
+use poneglyph_sql::execute;
+use poneglyph_tpch::{all_queries, generate};
+
+#[test]
+fn all_tpch_circuit_structures_analyze_clean() {
+    let db = generate(120);
+    for (name, plan) in all_queries(&db) {
+        // Structure mode: exactly what a verifier derives from the plan
+        // shape and public table sizes.
+        let compiled =
+            compile(&db, &plan, None, GateSet::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = compiled.analyze_with(&shipped_config(&compiled));
+        assert!(
+            report.is_empty(),
+            "{name} has analyzer findings:\n{}",
+            report.render()
+        );
+        // Every waiver must be a scan column and nothing else.
+        for (finding, _) in &report.allowed {
+            assert_eq!(finding.detector, Detector::UnconstrainedAdvice, "{name}");
+            assert!(
+                compiled
+                    .scan_columns
+                    .iter()
+                    .any(|i| finding.subject == format!("advice[{i}]")),
+                "{name}: waiver outside the scan-column set: {finding}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_tpch_witnesses_pass_verify_full() {
+    let db = generate(120);
+    for (name, plan) in all_queries(&db) {
+        let trace = execute(&db, &plan).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let compiled = compile(&db, &plan, Some(&trace), GateSet::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // The strict mode: static analysis first, then the full mock
+        // constraint check on the real witness.
+        verify_full(&compiled.cs, &compiled.asn, &shipped_config(&compiled))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn witness_and_structure_modes_agree_on_findings() {
+    // The analyzer never reads advice values, so prover-mode and
+    // verifier-mode compilations of the same plan must produce identical
+    // reports — a structure/witness divergence would mean the verifier is
+    // auditing a different circuit than the prover proves.
+    let db = generate(80);
+    let (name, plan) = all_queries(&db).remove(0);
+    let trace = execute(&db, &plan).unwrap();
+    let witness = compile(&db, &plan, Some(&trace), GateSet::default()).unwrap();
+    let structure = compile(&db, &plan, None, GateSet::default()).unwrap();
+    let rw = witness.analyze();
+    let rs = structure.analyze();
+    assert_eq!(rw.findings.len(), rs.findings.len(), "{name}");
+    for (a, b) in rw.findings.iter().zip(rs.findings.iter()) {
+        assert_eq!(a.subject, b.subject, "{name}");
+        assert_eq!(a.detail, b.detail, "{name}");
+    }
+}
