@@ -9,7 +9,7 @@
 //! `shims/` (offline stand-ins for external crates) and `tests/` (test
 //! code may unwrap freely) are out of scope by design.
 
-use poneglyph_analyze::{default_rules, lint_source, Severity};
+use poneglyph_analyze::{default_rules, lint_request_counters, lint_source, Severity};
 use std::path::{Path, PathBuf};
 
 fn main() {
@@ -49,7 +49,10 @@ fn main() {
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        for finding in lint_source(&rel, &source, &rules) {
+        for finding in lint_source(&rel, &source, &rules)
+            .into_iter()
+            .chain(lint_request_counters(&rel, &source))
+        {
             match finding.severity {
                 Severity::Deny => deny += 1,
                 Severity::Warn => warn += 1,

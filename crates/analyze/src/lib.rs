@@ -31,7 +31,7 @@ pub mod lint;
 pub use analyzer::{
     analyze, AllowEntry, AnalysisReport, AnalyzerConfig, CircuitView, Detector, Finding, Severity,
 };
-pub use lint::{default_rules, lint_source, LintFinding, LintRule};
+pub use lint::{default_rules, lint_request_counters, lint_source, LintFinding, LintRule};
 
 use poneglyph_arith::Fq;
 use poneglyph_core::CompiledQuery;

@@ -91,6 +91,7 @@ pub fn default_rules() -> Vec<LintRule> {
                 "crates/core/src/wire.rs",
                 "crates/sql/src/wire.rs",
                 "crates/service/src/protocol.rs",
+                "crates/obs/src/http.rs",
             ],
             exclude: vec![],
             rationale: "wire decoders parse bytes a remote peer controls; malformed input \
@@ -192,6 +193,65 @@ pub fn lint_source(path: &str, source: &str, rules: &[LintRule]) -> Vec<LintFind
     findings
 }
 
+/// How many comment-stripped lines after a `REQ_*` match arm may pass
+/// before its `record_request(` call (the arm line itself counts).
+const REQUEST_COUNTER_WINDOW: usize = 4;
+
+/// Structural lint: every `REQ_*` handler arm in the TCP server's frame
+/// dispatch must record its request counter before doing anything else,
+/// so `poneglyph_requests_total` stays complete as the protocol grows.
+///
+/// Applies only to `crates/service/src/server.rs`. A match arm line
+/// (contains `REQ_` and `=>`) must be followed within
+/// `REQUEST_COUNTER_WINDOW` lines by a `record_request(` call. Honors
+/// `lint:allow(request-counter)` on the arm line; skips the
+/// `#[cfg(test)]` tail like the pattern rules.
+pub fn lint_request_counters(path: &str, source: &str) -> Vec<LintFinding> {
+    if !path.contains("crates/service/src/server.rs") {
+        return Vec::new();
+    }
+    // The recorder itself: a line that *calls* record_request.
+    let call = concat!("record_request", "(");
+    let mut stripped = Vec::new();
+    let mut in_block = false;
+    for raw in source.lines() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        stripped.push((strip_comments(raw, &mut in_block), raw));
+    }
+    let mut findings = Vec::new();
+    for (idx, (code, raw)) in stripped.iter().enumerate() {
+        let is_arm = code.contains("REQ_")
+            && code.contains("=>")
+            // The dispatch arms, not the recorder's own doc or the
+            // `use` list of REQ_ constants.
+            && !code.trim_start().starts_with("use ")
+            && !code.contains("fn ");
+        if !is_arm || raw.contains("lint:allow(request-counter)") {
+            continue;
+        }
+        let counted = stripped
+            .iter()
+            .skip(idx)
+            .take(REQUEST_COUNTER_WINDOW)
+            .any(|(later, _)| later.contains(call));
+        if !counted {
+            findings.push(LintFinding {
+                rule: "request-counter",
+                severity: Severity::Deny,
+                file: path.to_string(),
+                line: idx + 1,
+                pattern: format!("REQ_* arm without {call}"),
+                rationale: "every wire-request handler arm must count itself in \
+                            poneglyph_requests_total so the metrics endpoint stays complete \
+                            as the protocol grows",
+            });
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +308,54 @@ mod tests {
         let f = lint_source("crates/bench/src/lib.rs", relaxed, &default_rules());
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "relaxed-ordering");
+    }
+
+    #[test]
+    fn http_responder_is_in_the_decode_panic_set() {
+        let src = "fn f(b: &[u8]) -> u8 { *b.first().unwrap() }\n";
+        let f = lint_source("crates/obs/src/http.rs", src, &default_rules());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "decode-panic");
+    }
+
+    #[test]
+    fn request_counter_rule_flags_uncounted_arms() {
+        let counted = "match t {\n    REQ_INFO => {\n        record_request(\"info\");\n        reply();\n    }\n}\n";
+        assert!(lint_request_counters("crates/service/src/server.rs", counted).is_empty());
+
+        let uncounted = "match t {\n    REQ_INFO => {\n        reply();\n    }\n    REQ_QUERY => {\n        record_request(\"query\");\n    }\n}\n";
+        let f = lint_request_counters("crates/service/src/server.rs", uncounted);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "request-counter");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].severity, Severity::Deny);
+
+        // Out of scope: other files, waived arms, the test tail.
+        assert!(lint_request_counters("crates/service/src/client.rs", uncounted).is_empty());
+        let waived =
+            "match t {\n    REQ_INFO => { // lint:allow(request-counter)\n        reply();\n    }\n}\n";
+        assert!(lint_request_counters("crates/service/src/server.rs", waived).is_empty());
+        let test_tail =
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { match t { REQ_X => {} } }\n}\n";
+        assert!(lint_request_counters("crates/service/src/server.rs", test_tail).is_empty());
+
+        // The counter call must land inside the window.
+        let too_late = "match t {\n    REQ_INFO => {\n        a();\n        b();\n        c();\n        record_request(\"info\");\n    }\n}\n";
+        assert_eq!(
+            lint_request_counters("crates/service/src/server.rs", too_late).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn request_counter_rule_accepts_the_live_server_source() {
+        // The real dispatch must stay clean — this is the regression the
+        // rule exists to catch, so check it against the actual file when
+        // the workspace layout is available (it is, in-tree).
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../service/src/server.rs");
+        if let Ok(src) = std::fs::read_to_string(path) {
+            let findings = lint_request_counters("crates/service/src/server.rs", &src);
+            assert!(findings.is_empty(), "live server.rs violates: {findings:?}");
+        }
     }
 }

@@ -30,6 +30,7 @@ pub struct LruCache<K, V> {
     bytes: usize,
     map: HashMap<K, Entry<V>>,
     tick: u64,
+    evictions: u64,
 }
 
 #[derive(Debug)]
@@ -56,6 +57,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             bytes: 0,
             map: HashMap::new(),
             tick: 0,
+            evictions: 0,
         }
     }
 
@@ -118,6 +120,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 break;
             };
             self.remove(&oldest);
+            self.evictions += 1;
         }
     }
 
@@ -156,6 +159,13 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.bytes
     }
 
+    /// Number of entries evicted by the capacity or byte-budget bounds
+    /// over the cache's lifetime (explicit [`remove`](Self::remove)/
+    /// [`retain`](Self::retain) calls do not count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Iterate the cached keys (no recency refresh).
     pub fn keys(&self) -> impl Iterator<Item = &K> {
         self.map.keys()
@@ -190,6 +200,9 @@ mod tests {
         assert_eq!(c.get(&"b"), None);
         assert_eq!(c.get(&"a"), Some(1));
         assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.evictions(), 1);
+        c.remove(&"a");
+        assert_eq!(c.evictions(), 1, "explicit removal is not an eviction");
     }
 
     #[test]

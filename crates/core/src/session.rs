@@ -46,6 +46,22 @@ use poneglyph_sql::{
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Record one verifier-side proof check's wall clock into
+/// `poneglyph_verify_nanos{kind=...}` (`kind` is `"single"` or
+/// `"batch"`). Failed checks record too — slow rejections matter as much
+/// as slow accepts.
+fn observe_verify(kind: &'static str, started: Instant) {
+    poneglyph_obs::global()
+        .histogram(
+            "poneglyph_verify_nanos",
+            &[("kind", kind)],
+            poneglyph_obs::nanos_buckets(),
+            "Verifier-side latency of proof checks, by kind",
+        )
+        .observe(started.elapsed().as_nanos() as u64);
+}
 
 /// Default bound on a session's per-fingerprint key cache. Proving keys
 /// are the largest per-plan artifact in the system; 64 distinct hot plans
@@ -441,20 +457,25 @@ impl VerifierSession {
     /// be of the canonical form (which is what [`ProverSession::prove`]
     /// and the proving service produce).
     pub fn verify(&self, plan: &Plan, response: &QueryResponse) -> Result<Table, DbError> {
-        let plan = canonical_plan(plan);
-        let fingerprint = canonical_plan_fingerprint(&plan);
-        let prepared = self.prepare(&plan, fingerprint)?;
-        if prepared.k != response.k {
-            return Err(DbError::Verify("circuit size mismatch".to_string()));
-        }
-        verify(
-            &prepared.params_k,
-            &prepared.vk,
-            &response.instance,
-            &response.proof,
-        )
-        .map_err(|e| DbError::Verify(e.to_string()))?;
-        extract_result(&prepared, response)
+        let started = Instant::now();
+        let out = (|| {
+            let plan = canonical_plan(plan);
+            let fingerprint = canonical_plan_fingerprint(&plan);
+            let prepared = self.prepare(&plan, fingerprint)?;
+            if prepared.k != response.k {
+                return Err(DbError::Verify("circuit size mismatch".to_string()));
+            }
+            verify(
+                &prepared.params_k,
+                &prepared.vk,
+                &response.instance,
+                &response.proof,
+            )
+            .map_err(|e| DbError::Verify(e.to_string()))?;
+            extract_result(&prepared, response)
+        })();
+        observe_verify("single", started);
+        out
     }
 
     /// Verify a batch of responses with *one* folded IPA opening check.
@@ -476,6 +497,13 @@ impl VerifierSession {
         if items.is_empty() {
             return Ok(Vec::new());
         }
+        let started = Instant::now();
+        let out = self.verify_batch_inner(items);
+        observe_verify("batch", started);
+        out
+    }
+
+    fn verify_batch_inner(&self, items: &[(Plan, QueryResponse)]) -> Result<Vec<Table>, DbError> {
         // Prepare every circuit up front (cache-deduplicated).
         let mut prepared = Vec::with_capacity(items.len());
         for (i, (plan, response)) in items.iter().enumerate() {

@@ -7,6 +7,22 @@
 use crate::pallas::{Pallas, PallasAffine};
 use poneglyph_arith::{Fq, PrimeField};
 use poneglyph_par::Parallelism;
+use std::sync::OnceLock;
+
+/// Record one MSM's term count into `poneglyph_msm_size` (handle cached:
+/// the registry mutex is taken once per process, not per MSM).
+fn observe_msm_size(n: usize) {
+    static HIST: OnceLock<poneglyph_obs::Histogram> = OnceLock::new();
+    HIST.get_or_init(|| {
+        poneglyph_obs::global().histogram(
+            "poneglyph_msm_size",
+            &[],
+            poneglyph_obs::size_buckets(),
+            "Term count of each multi-scalar multiplication",
+        )
+    })
+    .observe(n as u64);
+}
 
 /// Window size heuristic (bits per bucket pass).
 fn window_size(n: usize) -> usize {
@@ -43,6 +59,7 @@ pub fn msm_with(scalars: &[Fq], bases: &[PallasAffine], par: Parallelism) -> Pal
     if scalars.is_empty() {
         return Pallas::identity();
     }
+    observe_msm_size(scalars.len());
     if scalars.len() < 8 {
         return scalars
             .iter()

@@ -1,0 +1,232 @@
+//! A minimal HTTP/1.0 responder for `GET /metrics`.
+//!
+//! Pull-model metrics need an HTTP endpoint a stock scraper can hit; this
+//! is the smallest one that serves the purpose: one listener thread,
+//! connections handled sequentially (scrapes are rare and cheap), a
+//! bounded request parse, and a `Connection: close` response. The parser
+//! handles bytes a remote peer controls, so it is held to the workspace's
+//! panic-free decoder rules (the `srclint` `decode-panic` rule covers
+//! this file): malformed input gets an error status, never a panic.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on a request head (request line + headers). A scraper's
+/// `GET /metrics` is tens of bytes; anything larger is abuse.
+const MAX_REQUEST_HEAD: usize = 8192;
+
+/// Per-connection socket timeout: a stalled peer cannot wedge the
+/// listener thread for longer than this.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// What a parsed request head asked for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `GET /metrics` (query strings are tolerated and ignored).
+    Metrics,
+    /// A well-formed GET for any other path (`404`).
+    OtherPath,
+    /// A well-formed request with a non-GET method (`405`).
+    BadMethod,
+    /// Not parseable as an HTTP request line (`400`).
+    Malformed,
+}
+
+/// Classify an HTTP request head (everything up to the blank line).
+pub fn parse_request(head: &[u8]) -> Request {
+    let text = String::from_utf8_lossy(head);
+    let Some(line) = text.lines().next() else {
+        return Request::Malformed;
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Request::Malformed;
+    };
+    if !version.starts_with("HTTP/") {
+        return Request::Malformed;
+    }
+    if method != "GET" {
+        return Request::BadMethod;
+    }
+    let path = path.split('?').next().unwrap_or(path);
+    if path == "/metrics" {
+        Request::Metrics
+    } else {
+        Request::OtherPath
+    }
+}
+
+/// A running `GET /metrics` listener.
+///
+/// The render callback is invoked per scrape, so the response always
+/// reflects live state. Dropping (or [`stop`](Self::stop)ping) the server
+/// unbinds the port and joins the thread.
+pub struct MetricsHttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttpServer {
+    /// Bind `addr` (port 0 for an ephemeral port) and serve `render()`'s
+    /// output to every `GET /metrics`.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        render: impl Fn() -> String + Send + 'static,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("poneglyph-metrics-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Sequential handling: one slow peer delays, never
+                    // wedges (socket timeouts), and thread use is bounded.
+                    let _ = serve_connection(stream, &render);
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop listening and join the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, render: &impl Fn() -> String) -> io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT)).ok();
+    let head = read_request_head(&mut stream)?;
+    let (status, body) = match parse_request(&head) {
+        Request::Metrics => ("200 OK", render()),
+        Request::OtherPath => ("404 Not Found", "not found; try /metrics\n".to_string()),
+        Request::BadMethod => (
+            "405 Method Not Allowed",
+            "only GET is supported\n".to_string(),
+        ),
+        Request::Malformed => ("400 Bad Request", "malformed request\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Read up to the end of the request head (blank line), bounded by
+/// [`MAX_REQUEST_HEAD`]. Returns what was read; classification is the
+/// parser's job.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < MAX_REQUEST_HEAD {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_classification() {
+        assert_eq!(
+            parse_request(b"GET /metrics HTTP/1.0\r\n\r\n"),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request(b"GET /metrics?format=text HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Request::Metrics
+        );
+        assert_eq!(parse_request(b"GET / HTTP/1.0\r\n\r\n"), Request::OtherPath);
+        assert_eq!(
+            parse_request(b"POST /metrics HTTP/1.0\r\n\r\n"),
+            Request::BadMethod
+        );
+        assert_eq!(parse_request(b""), Request::Malformed);
+        assert_eq!(parse_request(b"\x00\xffgarbage"), Request::Malformed);
+        assert_eq!(parse_request(b"GET /metrics"), Request::Malformed);
+    }
+
+    fn http_get(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_errors_end_to_end() {
+        let server = MetricsHttpServer::spawn("127.0.0.1:0", || "up 1\n".to_string())
+            .expect("bind ephemeral port");
+        let addr = server.local_addr();
+
+        let ok = http_get(addr, "GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "got: {ok}");
+        assert!(ok.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(ok.ends_with("up 1\n"));
+
+        let missing = http_get(addr, "GET /nope HTTP/1.0\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+
+        let bad_method = http_get(addr, "POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(bad_method.starts_with("HTTP/1.0 405"));
+
+        let malformed = http_get(addr, "garbage\r\n\r\n");
+        assert!(malformed.starts_with("HTTP/1.0 400"));
+
+        server.stop();
+    }
+}

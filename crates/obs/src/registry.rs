@@ -1,0 +1,569 @@
+//! The metrics registry: named series of counters, gauges, and
+//! fixed-bucket log-scale histograms, rendered in the Prometheus text
+//! exposition format.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) is get-or-create under a
+//! short mutex and returns a cloneable *handle*; updates through a handle
+//! are lock-free `SeqCst` atomic operations. Callers on hot paths cache
+//! the handle (e.g. in a `OnceLock` static) so the registry map is
+//! consulted once, not per event.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning is cheap (an `Arc` bump); all clones share the same cell.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (no-op while the owning registry's recording is disabled).
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::SeqCst) {
+            self.value.fetch_add(n, Ordering::SeqCst);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+}
+
+/// A gauge handle: a value that can go up and down.
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set the value (no-op while the owning registry's recording is
+    /// disabled).
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::SeqCst) {
+            self.value.store(v, Ordering::SeqCst);
+        }
+    }
+
+    /// Add `delta` (may be negative; no-op while recording is disabled).
+    pub fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::SeqCst) {
+            self.value.fetch_add(delta, Ordering::SeqCst);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::SeqCst)
+    }
+}
+
+/// A fixed-bucket histogram handle.
+///
+/// Buckets are defined by a sorted slice of inclusive upper bounds
+/// (typically log-scale — see [`log2_buckets`]); one implicit `+Inf`
+/// bucket catches everything above the last bound. Observation is a
+/// binary search plus three atomic adds.
+#[derive(Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    core: Arc<HistogramCore>,
+}
+
+struct HistogramCore {
+    /// Sorted inclusive upper bounds; `buckets.len() == bounds.len() + 1`.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn with_bounds(enabled: Arc<AtomicBool>, bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must sort");
+        Self {
+            enabled,
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation (no-op while the owning registry's
+    /// recording is disabled).
+    pub fn observe(&self, value: u64) {
+        if !self.enabled.load(Ordering::SeqCst) {
+            return;
+        }
+        let idx = self.core.bounds.partition_point(|&b| b < value);
+        self.core.buckets[idx].fetch_add(1, Ordering::SeqCst);
+        self.core.sum.fetch_add(value, Ordering::SeqCst);
+        self.core.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Sum of every observed value.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::SeqCst)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::SeqCst)
+    }
+
+    /// Per-bucket (non-cumulative) observation counts, one per bound plus
+    /// the trailing `+Inf` bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// The inclusive upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.core.bounds
+    }
+}
+
+/// Inclusive power-of-two upper bounds `2^lo ..= 2^hi`.
+///
+/// The workspace's log-scale bucket layout: with values spanning four
+/// orders of magnitude, a fixed number of exponential buckets keeps
+/// relative resolution constant where linear buckets would collapse
+/// everything into one bin.
+pub fn log2_buckets(lo: u32, hi: u32) -> Vec<u64> {
+    (lo..=hi).map(|e| 1u64 << e).collect()
+}
+
+/// Standard duration bounds in nanoseconds: `2^12` (~4µs) through `2^36`
+/// (~69s), covering a cache hit to the slowest cold proof.
+pub fn nanos_buckets() -> &'static [u64] {
+    static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| log2_buckets(12, 36))
+}
+
+/// Standard size bounds (FFT/MSM element counts): `2^0` through `2^22`.
+pub fn size_buckets() -> &'static [u64] {
+    static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| log2_buckets(0, 22))
+}
+
+#[derive(Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Slot {
+    help: &'static str,
+    series: Series,
+}
+
+/// Identity of one series: metric name plus sorted label pairs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A registry of named metric series.
+///
+/// Most code records into the process-wide [`global`](crate::global)
+/// registry; independent registries exist for tests. Each registry
+/// carries its own recording switch ([`set_enabled`](Self::set_enabled)),
+/// shared by every handle it hands out.
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    series: Mutex<BTreeMap<SeriesKey, Slot>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with recording enabled.
+    pub fn new() -> Self {
+        Self {
+            enabled: Arc::new(AtomicBool::new(true)),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether this registry's handles are currently recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Turn recording on or off for every handle this registry has handed
+    /// out (and will hand out). Already-recorded values stay visible in
+    /// [`render`](Self::render).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+        make: impl FnOnce(Arc<AtomicBool>) -> Series,
+    ) -> Series {
+        let key = SeriesKey::new(name, labels);
+        let mut map = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        let slot = map.entry(key).or_insert_with(|| Slot {
+            help,
+            series: make(Arc::clone(&self.enabled)),
+        });
+        slot.series.clone()
+    }
+
+    /// Get or create a counter series. The first registration of a name
+    /// fixes its kind and help text; later calls with the same name and
+    /// labels return the existing handle (registering the same name as a
+    /// different kind is a programming error — the original kind wins and
+    /// the returned handle is a detached fresh cell).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &'static str) -> Counter {
+        let series = self.get_or_insert(name, labels, help, |enabled| {
+            Series::Counter(Counter {
+                enabled,
+                value: Arc::new(AtomicU64::new(0)),
+            })
+        });
+        match series {
+            Series::Counter(c) => c,
+            _ => Counter {
+                enabled: Arc::clone(&self.enabled),
+                value: Arc::new(AtomicU64::new(0)),
+            },
+        }
+    }
+
+    /// Get or create a gauge series (see [`counter`](Self::counter) for
+    /// the get-or-create contract).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &'static str) -> Gauge {
+        let series = self.get_or_insert(name, labels, help, |enabled| {
+            Series::Gauge(Gauge {
+                enabled,
+                value: Arc::new(AtomicI64::new(0)),
+            })
+        });
+        match series {
+            Series::Gauge(g) => g,
+            _ => Gauge {
+                enabled: Arc::clone(&self.enabled),
+                value: Arc::new(AtomicI64::new(0)),
+            },
+        }
+    }
+
+    /// Get or create a histogram series with the given inclusive upper
+    /// `bounds` (see [`counter`](Self::counter) for the get-or-create
+    /// contract; the first registration fixes the bounds).
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        help: &'static str,
+    ) -> Histogram {
+        let series = self.get_or_insert(name, labels, help, |enabled| {
+            Series::Histogram(Histogram::with_bounds(enabled, bounds))
+        });
+        match series {
+            Series::Histogram(h) => h,
+            _ => Histogram::with_bounds(Arc::clone(&self.enabled), bounds),
+        }
+    }
+
+    /// Drop every series registered under `name` (any label set).
+    ///
+    /// Used for label sets that track dynamic entities — e.g. per-database
+    /// epoch gauges are cleared and re-set on each scrape so detached
+    /// databases do not linger in the exposition.
+    pub fn clear_series(&self, name: &str) {
+        let mut map = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        map.retain(|key, _| key.name != name);
+    }
+
+    /// Render every series in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` comments, then one `name{labels} value` line
+    /// per sample; histograms expand to cumulative `_bucket` lines plus
+    /// `_sum` and `_count`). Series render in name-then-label order, so
+    /// the output is deterministic for golden tests.
+    pub fn render(&self) -> String {
+        let map = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, slot) in map.iter() {
+            if last_name != Some(key.name.as_str()) {
+                last_name = Some(key.name.as_str());
+                let kind = match slot.series {
+                    Series::Counter(_) => "counter",
+                    Series::Gauge(_) => "gauge",
+                    Series::Histogram(_) => "histogram",
+                };
+                if !slot.help.is_empty() {
+                    let _ = writeln!(out, "# HELP {} {}", key.name, slot.help);
+                }
+                let _ = writeln!(out, "# TYPE {} {kind}", key.name);
+            }
+            match &slot.series {
+                Series::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", key.name, label_set(&key.labels), c.get());
+                }
+                Series::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", key.name, label_set(&key.labels), g.get());
+                }
+                Series::Histogram(h) => render_histogram(&mut out, key, h),
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, key: &SeriesKey, h: &Histogram) {
+    let counts = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cumulative += c;
+        let le = match h.bounds().get(i) {
+            Some(b) => b.to_string(),
+            None => "+Inf".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {cumulative}",
+            key.name,
+            label_set_with(&key.labels, ("le", &le))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        key.name,
+        label_set(&key.labels),
+        h.sum()
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        key.name,
+        label_set(&key.labels),
+        h.count()
+    );
+}
+
+fn label_set(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    format_labels(labels.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+}
+
+fn label_set_with(labels: &[(String, String)], extra: (&str, &str)) -> String {
+    format_labels(
+        labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(std::iter::once(extra)),
+    )
+}
+
+fn format_labels<'a>(pairs: impl Iterator<Item = (&'a str, &'a str)>) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in pairs.enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", escape_label_value(v));
+    }
+    s.push('}');
+    s
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", &[], "a counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Get-or-create returns the same underlying cell.
+        assert_eq!(reg.counter("c_total", &[], "a counter").get(), 5);
+
+        let g = reg.gauge("g", &[("db", "x")], "a gauge");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        // Distinct label sets are distinct series.
+        assert_eq!(reg.gauge("g", &[("db", "y")], "a gauge").get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[], &[10, 100, 1000], "bounds test");
+        // At the bound → that bucket; one past → the next; beyond the last
+        // bound → the +Inf bucket.
+        for v in [1, 10, 11, 100, 1000, 1001, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(
+            h.sum(),
+            1u64.wrapping_add(10)
+                .wrapping_add(11)
+                .wrapping_add(100)
+                .wrapping_add(1000)
+                .wrapping_add(1001)
+                .wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn log2_bucket_helpers() {
+        assert_eq!(log2_buckets(0, 3), vec![1, 2, 4, 8]);
+        assert_eq!(nanos_buckets().first(), Some(&(1u64 << 12)));
+        assert_eq!(nanos_buckets().last(), Some(&(1u64 << 36)));
+        assert_eq!(size_buckets().len(), 23);
+        assert!(size_buckets().windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn exposition_format_golden() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total", &[("kind", "sql")], "requests served")
+            .add(3);
+        reg.counter("requests_total", &[("kind", "info")], "requests served")
+            .inc();
+        reg.gauge("cache_bytes", &[], "bytes held").set(4096);
+        let h = reg.histogram("latency_nanos", &[("op", "verify")], &[10, 100], "latency");
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let expected = "\
+# HELP cache_bytes bytes held
+# TYPE cache_bytes gauge
+cache_bytes 4096
+# HELP latency_nanos latency
+# TYPE latency_nanos histogram
+latency_nanos_bucket{op=\"verify\",le=\"10\"} 1
+latency_nanos_bucket{op=\"verify\",le=\"100\"} 2
+latency_nanos_bucket{op=\"verify\",le=\"+Inf\"} 3
+latency_nanos_sum{op=\"verify\"} 555
+latency_nanos_count{op=\"verify\"} 3
+# HELP requests_total requests served
+# TYPE requests_total counter
+requests_total{kind=\"info\"} 1
+requests_total{kind=\"sql\"} 3
+";
+        assert_eq!(reg.render(), expected);
+    }
+
+    #[test]
+    fn every_sample_line_is_parseable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", &[("x", "with\"quote\\and\nnewline")], "help")
+            .inc();
+        reg.histogram("b", &[], nanos_buckets(), "durations")
+            .observe(9999);
+        for line in reg.render().lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("space-separated sample");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+            assert!(!series.is_empty());
+        }
+    }
+
+    #[test]
+    fn clear_series_drops_all_label_sets() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("db_epoch", &[("db", "a")], "epoch").set(1);
+        reg.gauge("db_epoch", &[("db", "b")], "epoch").set(2);
+        reg.counter("other", &[], "other").inc();
+        reg.clear_series("db_epoch");
+        let text = reg.render();
+        assert!(!text.contains("db_epoch"));
+        assert!(text.contains("other 1"));
+        // Re-registering after a clear starts from zero.
+        assert_eq!(reg.gauge("db_epoch", &[("db", "a")], "epoch").get(), 0);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        // A private registry: toggling its switch cannot race the other
+        // tests in this binary (each registry carries its own flag).
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", &[], "counter");
+        let h = reg.histogram("h", &[], &[10], "histogram");
+        let g = reg.gauge("g", &[], "gauge");
+        reg.set_enabled(false);
+        assert!(!reg.is_enabled());
+        c.inc();
+        h.observe(5);
+        g.set(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(g.get(), 0);
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

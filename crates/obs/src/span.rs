@@ -1,0 +1,292 @@
+//! Span tracing and the slow-query ring.
+//!
+//! A *span* is a named duration: [`span`] returns an RAII guard that
+//! records `poneglyph_span_nanos{span="<name>"}` into the global registry
+//! on drop; [`record_span`] records a pre-measured duration. When a
+//! *request context* is active on the thread ([`begin_request`]), every
+//! span additionally lands in the request's stage list, and the completed
+//! [`RequestRecord`] — per-request id, label, wall clock, cache-hit flag,
+//! stage breakdown — is pushed into a bounded in-memory [`EventRing`],
+//! the slow-query log the serving binary reports at shutdown.
+//!
+//! Request contexts are thread-local: the proving service begins one on
+//! the worker thread that serves a request, so the prover's stage spans
+//! (recorded on the same thread) attribute to it with no plumbing through
+//! the call graph.
+
+use crate::registry::nanos_buckets;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Help text for the span histogram family.
+const SPAN_HELP: &str = "Duration of named spans (RAII or pre-measured), in nanoseconds";
+
+/// The histogram handle backing `poneglyph_span_nanos{span="<name>"}` in
+/// the global registry (get-or-create). Useful for reading a span's
+/// accumulated sum/count back out.
+pub fn span_histogram(name: &'static str) -> crate::Histogram {
+    crate::global().histogram(
+        "poneglyph_span_nanos",
+        &[("span", name)],
+        nanos_buckets(),
+        SPAN_HELP,
+    )
+}
+
+/// Record a named duration: the span histogram in the global registry,
+/// plus the active request's stage list (if any).
+pub fn record_span(name: &'static str, nanos: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    span_histogram(name).observe(nanos);
+    CURRENT.with(|cur| {
+        if let Some(req) = cur.borrow_mut().as_mut() {
+            req.stages.push((name, nanos));
+        }
+    });
+}
+
+/// An RAII guard measuring a span; created by [`span`].
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        record_span(self.name, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Start timing a named span; the duration records when the guard drops.
+///
+/// ```
+/// let _guard = poneglyph_obs::span("keygen.pk");
+/// // ... work ...
+/// // drop records poneglyph_span_nanos{span="keygen.pk"}
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: Instant::now(),
+    }
+}
+
+/// One completed request trace, as stored in the [`EventRing`].
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// Process-unique request id (monotonic).
+    pub id: u64,
+    /// Caller-supplied label (e.g. `"<db digest>:<plan fingerprint>"`).
+    pub label: String,
+    /// End-to-end wall clock of the request, in nanoseconds.
+    pub total_nanos: u64,
+    /// Whether the request was answered from a cache.
+    pub cache_hit: bool,
+    /// `(span name, nanoseconds)` for every span recorded on this
+    /// request's thread while it was active, in completion order.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+struct ActiveRequest {
+    id: u64,
+    label: String,
+    start: Instant,
+    cache_hit: bool,
+    stages: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ActiveRequest>> = const { RefCell::new(None) };
+}
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Open a request context on this thread; the returned guard closes it.
+///
+/// While the guard lives, every [`record_span`]/[`span`] on this thread
+/// attributes to the request; when it drops, the completed
+/// [`RequestRecord`] is pushed into the global [`ring`]. Nesting is not
+/// supported: beginning a request while one is active replaces the outer
+/// one (its record is discarded). Returns a no-op guard while recording
+/// is disabled.
+pub fn begin_request(label: impl Into<String>) -> RequestGuard {
+    if !crate::enabled() {
+        return RequestGuard { active: false };
+    }
+    let req = ActiveRequest {
+        id: NEXT_REQUEST_ID.fetch_add(1, Ordering::SeqCst),
+        label: label.into(),
+        start: Instant::now(),
+        cache_hit: false,
+        stages: Vec::new(),
+    };
+    CURRENT.with(|cur| *cur.borrow_mut() = Some(req));
+    RequestGuard { active: true }
+}
+
+/// Flag the active request (if any) as answered from a cache.
+pub fn mark_cache_hit() {
+    CURRENT.with(|cur| {
+        if let Some(req) = cur.borrow_mut().as_mut() {
+            req.cache_hit = true;
+        }
+    });
+}
+
+/// Closes the request context opened by [`begin_request`] on drop.
+pub struct RequestGuard {
+    active: bool,
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let finished = CURRENT.with(|cur| cur.borrow_mut().take());
+        if let Some(req) = finished {
+            ring().push(RequestRecord {
+                id: req.id,
+                label: req.label,
+                total_nanos: req.start.elapsed().as_nanos() as u64,
+                cache_hit: req.cache_hit,
+                stages: req.stages,
+            });
+        }
+    }
+}
+
+/// Capacity of the global slow-query ring.
+pub const RING_CAPACITY: usize = 256;
+
+/// A bounded ring of completed [`RequestRecord`]s: the newest
+/// [`capacity`](Self::capacity) requests, queryable for the slowest.
+pub struct EventRing {
+    capacity: usize,
+    inner: Mutex<VecDeque<RequestRecord>>,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Maximum number of records retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append a record, evicting the oldest once full.
+    pub fn push(&self, record: RequestRecord) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.len() == self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(record);
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The up-to-`n` slowest retained requests, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<RequestRecord> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut all: Vec<RequestRecord> = inner.iter().cloned().collect();
+        all.sort_by_key(|r| std::cmp::Reverse(r.total_nanos));
+        all.truncate(n);
+        all
+    }
+
+    /// Drop every retained record.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+/// The process-wide slow-query ring ([`RING_CAPACITY`] records).
+pub fn ring() -> &'static EventRing {
+    static RING: OnceLock<EventRing> = OnceLock::new();
+    RING.get_or_init(|| EventRing::with_capacity(RING_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_records_into_global_registry() {
+        let hist = crate::global().histogram(
+            "poneglyph_span_nanos",
+            &[("span", "test.span")],
+            nanos_buckets(),
+            SPAN_HELP,
+        );
+        let before = hist.count();
+        drop(span("test.span"));
+        record_span("test.span", 1234);
+        assert_eq!(hist.count(), before + 2);
+        assert!(hist.sum() >= 1234);
+    }
+
+    #[test]
+    fn request_context_collects_stages_and_lands_in_ring() {
+        let guard = begin_request("db01:fp02");
+        record_span("test.stage_a", 10);
+        mark_cache_hit();
+        record_span("test.stage_b", 20);
+        drop(guard);
+        let records = ring().slowest(usize::MAX);
+        let rec = records
+            .iter()
+            .find(|r| r.label == "db01:fp02")
+            .expect("request recorded");
+        assert!(rec.cache_hit);
+        assert_eq!(rec.stages, vec![("test.stage_a", 10), ("test.stage_b", 20)]);
+        assert!(rec.id > 0);
+    }
+
+    #[test]
+    fn spans_without_a_request_do_not_touch_the_ring() {
+        let before = ring().len();
+        record_span("test.orphan", 5);
+        assert_eq!(ring().len(), before);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_sorts_slowest_first() {
+        let ring = EventRing::with_capacity(3);
+        for (i, nanos) in [50u64, 10, 40, 30].iter().enumerate() {
+            ring.push(RequestRecord {
+                id: i as u64,
+                label: format!("r{i}"),
+                total_nanos: *nanos,
+                cache_hit: false,
+                stages: Vec::new(),
+            });
+        }
+        // Capacity 3: the oldest (50ns) was evicted despite being slowest.
+        assert_eq!(ring.len(), 3);
+        let slowest = ring.slowest(2);
+        assert_eq!(slowest.len(), 2);
+        assert_eq!(slowest[0].total_nanos, 40);
+        assert_eq!(slowest[1].total_nanos, 30);
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+}

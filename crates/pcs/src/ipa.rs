@@ -108,6 +108,7 @@ pub fn open_with(
     rng: &mut impl Rng,
     par: Parallelism,
 ) -> IpaProof {
+    let _span = poneglyph_obs::span("pcs.open");
     let n = params.n;
     assert!(coeffs.len() <= n);
     let k = params.k;

@@ -119,68 +119,77 @@ impl Dsu {
     }
 }
 
-/// Process-wide instrumentation counters for key generation.
+/// Process-wide instrumentation for key generation and prover stages —
+/// legacy *views* over the [`poneglyph_obs`] global metrics registry.
 ///
-/// Tests use these to assert *which* keygen path ran — e.g. that the
-/// verifier never materializes prover-only tables (no [`keygen_pk`] call)
-/// and that a session caches keys instead of regenerating them. The
+/// Earlier revisions kept private statics here; the accessors now read
+/// the same registry series the serving layer exposes over `/metrics`
+/// (`poneglyph_keygens_total{kind=...}` and
+/// `poneglyph_span_nanos{span="prove.*"}`), so benches and tests written
+/// against this module keep working while the fleet scrapes one source of
+/// truth. Per-session stage timings live in `SessionStats`; these views
+/// aggregate across the whole process.
+///
+/// Tests use the counters to assert *which* keygen path ran — e.g. that
+/// the verifier never materializes prover-only tables (no [`keygen_pk`]
+/// call) and that a session caches keys instead of regenerating them. The
 /// counters are monotonic and process-global; assert on deltas from a
 /// single-test binary, not absolute values.
 pub mod instrument {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use poneglyph_obs as obs;
 
-    static VK_KEYGENS: AtomicU64 = AtomicU64::new(0);
-    static PK_KEYGENS: AtomicU64 = AtomicU64::new(0);
-    static COMMIT_NANOS: AtomicU64 = AtomicU64::new(0);
-    static QUOTIENT_NANOS: AtomicU64 = AtomicU64::new(0);
-    static OPEN_NANOS: AtomicU64 = AtomicU64::new(0);
+    const KEYGEN_HELP: &str = "Key generations by kind (pk = prover tables materialized)";
+
+    fn keygen_counter(kind: &'static str) -> obs::Counter {
+        obs::global().counter("poneglyph_keygens_total", &[("kind", kind)], KEYGEN_HELP)
+    }
 
     /// Total nanoseconds every [`prove`](crate::prove) call in this
     /// process has spent in the *commit* stage (witness interpolation,
     /// lookup construction, grand products, and all pre-quotient
     /// commitments).
     pub fn commit_nanos() -> u64 {
-        COMMIT_NANOS.load(Ordering::SeqCst)
+        obs::span_histogram("prove.commit").sum()
     }
 
     /// Total nanoseconds spent in the *quotient* stage (coset extension,
     /// chunk-parallel constraint accumulation, vanishing division, and the
     /// quotient-piece commitments).
     pub fn quotient_nanos() -> u64 {
-        QUOTIENT_NANOS.load(Ordering::SeqCst)
+        obs::span_histogram("prove.quotient").sum()
     }
 
     /// Total nanoseconds spent in the *open* stage (schedule evaluations
     /// and the batched IPA openings).
     pub fn open_nanos() -> u64 {
-        OPEN_NANOS.load(Ordering::SeqCst)
+        obs::span_histogram("prove.open").sum()
     }
 
     pub(crate) fn record_stages(commit: u64, quotient: u64, open: u64) {
-        COMMIT_NANOS.fetch_add(commit, Ordering::SeqCst);
-        QUOTIENT_NANOS.fetch_add(quotient, Ordering::SeqCst);
-        OPEN_NANOS.fetch_add(open, Ordering::SeqCst);
+        obs::record_span("prove.commit", commit);
+        obs::record_span("prove.quotient", quotient);
+        obs::record_span("prove.open", open);
     }
 
     /// Number of [`keygen_vk`](super::keygen_vk) calls so far (verifier-side
     /// key generations that skip the prover-only tables).
     pub fn vk_keygens() -> u64 {
-        VK_KEYGENS.load(Ordering::SeqCst)
+        keygen_counter("vk").get()
     }
 
     /// Number of [`keygen_pk`](super::keygen_pk) calls so far — i.e. how
     /// many times the prover-only tables (extended cosets, σ/fixed
     /// polynomials) were materialized.
     pub fn pk_keygens() -> u64 {
-        PK_KEYGENS.load(Ordering::SeqCst)
+        keygen_counter("pk").get()
     }
 
     pub(super) fn count_vk() {
-        VK_KEYGENS.fetch_add(1, Ordering::SeqCst);
+        keygen_counter("vk").inc();
     }
 
     pub(super) fn count_pk() {
-        PK_KEYGENS.fetch_add(1, Ordering::SeqCst);
+        keygen_counter("pk").inc();
     }
 }
 
@@ -323,6 +332,7 @@ pub fn keygen_vk_with(
     par: Parallelism,
 ) -> VerifyingKey {
     instrument::count_vk();
+    let _span = poneglyph_obs::span("keygen.vk");
     build_tables(params, cs, asn, par).into_vk(cs)
 }
 
@@ -347,6 +357,7 @@ pub fn keygen_pk_with(
     par: Parallelism,
 ) -> ProvingKey {
     instrument::count_pk();
+    let _span = poneglyph_obs::span("keygen.pk");
     let tables = build_tables(params, cs, asn, par);
     let domain = &tables.domain;
     let n = domain.n;

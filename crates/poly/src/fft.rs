@@ -10,10 +10,27 @@
 
 use poneglyph_arith::PrimeField;
 use poneglyph_par::{par_chunks_mut, Parallelism};
+use std::sync::OnceLock;
 
 /// Transforms below this size run serially even under a parallel budget:
 /// scoped-thread spawn latency would exceed the butterfly work saved.
 const MIN_PARALLEL_N: usize = 1 << 11;
+
+/// Record one transform's element count into
+/// `poneglyph_fft_size` (handle cached: the registry mutex is taken once
+/// per process, not per FFT).
+fn observe_fft_size(n: usize) {
+    static HIST: OnceLock<poneglyph_obs::Histogram> = OnceLock::new();
+    HIST.get_or_init(|| {
+        poneglyph_obs::global().histogram(
+            "poneglyph_fft_size",
+            &[],
+            poneglyph_obs::size_buckets(),
+            "Element count of each FFT invocation",
+        )
+    })
+    .observe(n as u64);
+}
 
 /// Bit-reversal permutation of `a` (length must be a power of two).
 fn bit_reverse<F>(a: &mut [F]) {
@@ -81,6 +98,7 @@ pub fn ifft<F: PrimeField>(a: &mut [F], omega_inv: F, n_inv: F) {
 pub fn fft_with<F: PrimeField>(a: &mut [F], omega: F, par: Parallelism) {
     let n = a.len();
     assert!(n.is_power_of_two(), "fft length must be a power of two");
+    observe_fft_size(n);
     let log_n = n.trailing_zeros();
     // Sub-transforms must stay big enough to amortize the gather pass.
     let max_log_w = log_n.saturating_sub(MIN_PARALLEL_N.trailing_zeros());

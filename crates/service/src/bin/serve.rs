@@ -3,7 +3,8 @@
 //! ```sh
 //! cargo run --release -p poneglyph-service --bin poneglyph-serve -- \
 //!     [--port 7117] [--workers 4] [--prover-threads 0] [--cache 64] \
-//!     [--cache-mb 64] [--k 12] [--duration SECS] [--append-every SECS]
+//!     [--cache-mb 64] [--k 12] [--duration SECS] [--append-every SECS] \
+//!     [--metrics-port N]
 //! ```
 //!
 //! `--prover-threads N` caps how many threads a *single* proof may fan out
@@ -22,11 +23,18 @@
 //! interval, logging each homomorphic commitment update and the successor
 //! digest clients should requery against.
 //!
+//! `--metrics-port N` additionally binds `127.0.0.1:N` and answers
+//! `GET /metrics` with the Prometheus text exposition of the process
+//! metrics registry — the same snapshot the wire protocol's `REQ_METRICS`
+//! frame returns. Logging is leveled and timestamped; filter with
+//! `PONEGLYPH_LOG=error|warn|info|debug|off` (default `info`).
+//!
 //! Shutdown: send `quit` on stdin, or pass `--duration SECS` for a timed
-//! run; either path reports the per-database serving counters. With no
-//! usable stdin (daemon/background deployment) the server runs until
-//! killed.
+//! run; either path reports the per-database serving counters and the
+//! slowest requests from the in-memory slow-query ring. With no usable
+//! stdin (daemon/background deployment) the server runs until killed.
 
+use poneglyph_obs::{log_error, log_info, log_warn};
 use poneglyph_pcs::IpaParams;
 use poneglyph_service::{digest_hex, ProvingService, ServiceConfig, ServiceServer};
 use poneglyph_sql::{ColumnType, Database, Schema, Table};
@@ -75,10 +83,43 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
         Some(i) => match args.get(i + 1).map(|v| v.parse()) {
             Some(Ok(v)) => v,
             _ => {
-                eprintln!("error: {name} needs a valid value");
+                log_error!("{name} needs a valid value");
                 std::process::exit(2);
             }
         },
+    }
+}
+
+/// Report the slowest requests retained by the in-memory slow-query ring,
+/// with each request's per-stage span breakdown.
+fn report_slowest(n: usize) {
+    let slowest = poneglyph_obs::ring().slowest(n);
+    if slowest.is_empty() {
+        return;
+    }
+    log_info!(
+        "slowest {} request(s) of the last {}:",
+        slowest.len(),
+        poneglyph_obs::ring().len()
+    );
+    for rec in &slowest {
+        let stages: Vec<String> = rec
+            .stages
+            .iter()
+            .map(|(name, nanos)| format!("{name} {:.1}ms", *nanos as f64 / 1e6))
+            .collect();
+        log_info!(
+            "  #{} {} {:.1}ms{}{}",
+            rec.id,
+            rec.label,
+            rec.total_nanos as f64 / 1e6,
+            if rec.cache_hit { " (cache hit)" } else { "" },
+            if stages.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", stages.join(", "))
+            }
+        );
     }
 }
 
@@ -87,7 +128,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: poneglyph-serve [--port N] [--workers N] [--prover-threads N] \
-             [--cache N] [--cache-mb N] [--k N] [--duration SECS] [--append-every SECS]"
+             [--cache N] [--cache-mb N] [--k N] [--duration SECS] [--append-every SECS] \
+             [--metrics-port N]"
         );
         return;
     }
@@ -99,8 +141,9 @@ fn main() {
     let k: u32 = parse_flag(&args, "--k", 12);
     let duration: u64 = parse_flag(&args, "--duration", 0);
     let append_every: u64 = parse_flag(&args, "--append-every", 0);
+    let metrics_port: u16 = parse_flag(&args, "--metrics-port", 0);
 
-    eprintln!("deriving public parameters (k = {k}, no trusted setup)...");
+    log_info!("deriving public parameters (k = {k}, no trusted setup)...");
     let params = IpaParams::setup(k);
     let service = Arc::new(ProvingService::empty(
         params,
@@ -112,25 +155,46 @@ fn main() {
             ..ServiceConfig::default()
         },
     ));
-    eprintln!(
+    log_info!(
         "per-proof thread budget: {} (from --prover-threads {prover_threads}; 0 = auto)",
         service.prover_parallelism().threads()
     );
     let d_employees = service.attach_with_pks(employees_database(), &[("employees", "emp_id")]);
     let d_orders = service.attach_with_pks(orders_database(), &[("orders", "order_id")]);
-    eprintln!(
-        "hosting 2 databases:\n  employees (default): {}\n  orders:              {}",
+    log_info!(
+        "hosting 2 databases: employees (default) {}, orders {}",
         digest_hex(&d_employees[..16]),
         digest_hex(&d_orders[..16]),
     );
 
     let server =
         ServiceServer::spawn(Arc::clone(&service), ("127.0.0.1", port)).expect("bind service port");
-    eprintln!(
-        "serving protocol v3 on {} with {workers} prover worker(s); \
+    log_info!(
+        "serving protocol v4 on {} with {workers} prover worker(s); \
          'quit' or stdin EOF (or --duration) to stop",
         server.local_addr()
     );
+
+    // The HTTP scrape endpoint is optional; the wire protocol's
+    // REQ_METRICS frame serves the same snapshot either way.
+    let metrics_server = if metrics_port > 0 {
+        let svc = Arc::clone(&service);
+        match poneglyph_obs::http::MetricsHttpServer::spawn(
+            ("127.0.0.1", metrics_port),
+            move || svc.metrics_text(),
+        ) {
+            Ok(http) => {
+                log_info!("metrics: GET http://{}/metrics", http.local_addr());
+                Some(http)
+            }
+            Err(e) => {
+                log_warn!("could not bind metrics port {metrics_port}: {e}; continuing without");
+                None
+            }
+        }
+    } else {
+        None
+    };
 
     if append_every > 0 {
         // Exercise the mutation path: grow the orders lineage by one row
@@ -147,7 +211,7 @@ fn main() {
                     let row = vec![next_id, next_id % 4, 10_000 + 731 * next_id];
                     match svc.append_rows(&digest, "orders", vec![row]) {
                         Ok(stats) => {
-                            eprintln!(
+                            log_info!(
                                 "append: orders +1 row -> digest {} (epoch {}, \
                                  commitment update {:?}, {} cached proof(s) invalidated)",
                                 digest_hex(&stats.new_digest[..16]),
@@ -170,7 +234,7 @@ fn main() {
                             });
                             match followed {
                                 Some((d, rows)) => {
-                                    eprintln!(
+                                    log_warn!(
                                         "append target moved ({e}); following the lineage \
                                          to {}",
                                         digest_hex(&d[..16])
@@ -179,7 +243,7 @@ fn main() {
                                     next_id = rows as i64 + 1;
                                 }
                                 None => {
-                                    eprintln!(
+                                    log_error!(
                                         "append failed ({e}) and no orders table is \
                                          hosted; stopping the append loop"
                                     );
@@ -219,20 +283,28 @@ fn main() {
     }
 
     server.stop();
+    if let Some(http) = metrics_server {
+        http.stop();
+    }
     let stats = service.stats();
-    eprintln!(
+    log_info!(
         "shutdown: {} proof(s) generated, {} cache hit(s), {} cache miss(es); \
          {} worker(s) x {} prover thread(s)",
-        stats.proofs_generated, stats.cache_hits, stats.cache_misses, workers, stats.prover_threads
+        stats.proofs_generated,
+        stats.cache_hits,
+        stats.cache_misses,
+        workers,
+        stats.prover_threads
     );
     if stats.mutations > 0 {
-        eprintln!(
+        log_info!(
             "  {} append batch(es) applied, {} row(s) appended",
-            stats.mutations, stats.rows_appended
+            stats.mutations,
+            stats.rows_appended
         );
     }
     for db in &stats.databases {
-        eprintln!(
+        log_info!(
             "  db {} (epoch {}): {} proven, {} cache hit(s), {} in-flight dedup(s), \
              {} cached proof(s)",
             digest_hex(&db.digest[..8]),
@@ -243,4 +315,5 @@ fn main() {
             db.cached_proofs
         );
     }
+    report_slowest(5);
 }

@@ -9,8 +9,8 @@
 use crate::cache::LruCache;
 use crate::protocol::{
     encode_append_request, encode_sql_request, read_frame, write_frame, AppendAck, ServerInfo,
-    REQ_APPEND, REQ_INFO, REQ_QUERY, REQ_QUERY_DB, REQ_SQL, RESP_APPEND, RESP_ERR, RESP_INFO,
-    RESP_QUERY, RESP_SQL,
+    REQ_APPEND, REQ_INFO, REQ_METRICS, REQ_QUERY, REQ_QUERY_DB, REQ_SQL, RESP_APPEND, RESP_ERR,
+    RESP_INFO, RESP_METRICS, RESP_QUERY, RESP_SQL,
 };
 use crate::registry::digest_hex;
 use poneglyph_core::{QueryResponse, SessionStats, VerifierSession};
@@ -137,6 +137,20 @@ impl ServiceClient {
         let info = ServerInfo::from_bytes(&body)?;
         self.cached_info = Some(info.clone());
         Ok(info)
+    }
+
+    /// Fetch the server's metrics snapshot (protocol v4): the registry
+    /// rendered in the Prometheus text exposition format — identical to
+    /// what the server's `GET /metrics` HTTP endpoint serves.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let (ty, body) = self.request(REQ_METRICS, &[])?;
+        if ty != RESP_METRICS {
+            return Err(ClientError::Protocol(format!(
+                "expected metrics response, got tag {ty:#04x}"
+            )));
+        }
+        String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("metrics snapshot is not UTF-8".into()))
     }
 
     /// The cached info, fetching it once if needed.

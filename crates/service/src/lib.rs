@@ -19,9 +19,9 @@
 //!   `(database digest, plan fingerprint)` with per-database accounting,
 //!   and in-flight deduplication so identical concurrent queries cost one
 //!   proof.
-//! * [`protocol`] — the versioned frame protocol (v3: digest-addressed
-//!   queries, SQL-over-the-wire, row appends with epoch advertisement)
-//!   and payload codecs shared by server and client.
+//! * [`protocol`] — the versioned frame protocol (v4: digest-addressed
+//!   queries, SQL-over-the-wire, row appends with epoch advertisement,
+//!   metrics snapshots) and payload codecs shared by server and client.
 //! * [`ServiceServer`] / [`ServiceClient`] — a `std::net` TCP front end
 //!   and its matching blocking client (no external dependencies); the
 //!   client verifies through cached per-database verifier sessions.

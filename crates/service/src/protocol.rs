@@ -1,4 +1,4 @@
-//! The TCP wire protocol (v3): framing and message payloads.
+//! The TCP wire protocol (v4): framing and message payloads.
 //!
 //! Every message is one frame:
 //!
@@ -23,6 +23,8 @@
 //!   a row batch in the canonical cell encoding (row-major `i64`s, bounded
 //!   by [`MAX_APPEND_CELLS`]); asks the server to append the rows and
 //!   advance the database's commitment homomorphically.
+//! * [`REQ_METRICS`] — *new in v4*: empty payload; asks for a snapshot of
+//!   the server's metrics registry.
 //!
 //! Responses:
 //! * [`RESP_INFO`] — a [`ServerInfo`] (all hosted databases + counters,
@@ -36,6 +38,9 @@
 //!   proved; the client verifies against exactly it.
 //! * [`RESP_APPEND`] — an [`AppendAck`]: the successor digest now serving
 //!   the lineage, its epoch, and the mutation's accounting.
+//! * [`RESP_METRICS`] — the registry rendered in the Prometheus text
+//!   exposition format (UTF-8), exactly what the server's `GET /metrics`
+//!   endpoint would return.
 //! * [`RESP_ERR`] — a UTF-8 error message.
 //!
 //! Frames are bounded by [`MAX_FRAME`]; a peer announcing a larger payload
@@ -46,7 +51,7 @@ use poneglyph_sql::{write_string, ByteReader, Database, Schema, Table, WireError
 use std::io::{self, Read, Write};
 
 /// Protocol version, carried in [`ServerInfo`].
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Hard cap on a frame payload (64 MiB).
 pub const MAX_FRAME: usize = 64 << 20;
@@ -66,6 +71,8 @@ pub const REQ_SQL: u8 = 0x04;
 /// (payload = 64-byte digest + table name + u32 width + u32 rows +
 /// row-major i64 cells).
 pub const REQ_APPEND: u8 = 0x05;
+/// Client request, new in v4: a metrics snapshot (empty payload).
+pub const REQ_METRICS: u8 = 0x06;
 /// Server response to [`REQ_INFO`].
 pub const RESP_INFO: u8 = 0x81;
 /// Server response to [`REQ_QUERY`] / [`REQ_QUERY_DB`]
@@ -76,6 +83,8 @@ pub const RESP_QUERY: u8 = 0x82;
 pub const RESP_SQL: u8 = 0x84;
 /// Server response to [`REQ_APPEND`]: an [`AppendAck`].
 pub const RESP_APPEND: u8 = 0x85;
+/// Server response to [`REQ_METRICS`]: Prometheus text exposition (UTF-8).
+pub const RESP_METRICS: u8 = 0x86;
 /// Server response: request failed (UTF-8 message payload).
 pub const RESP_ERR: u8 = 0xFF;
 

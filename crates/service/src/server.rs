@@ -3,8 +3,8 @@
 
 use crate::protocol::{
     decode_append_request, decode_sql_text, read_frame, split_digest, write_frame, AppendAck,
-    DatabaseInfo, ServerInfo, REQ_APPEND, REQ_INFO, REQ_QUERY, REQ_QUERY_DB, REQ_SQL, RESP_APPEND,
-    RESP_ERR, RESP_INFO, RESP_QUERY, RESP_SQL,
+    DatabaseInfo, ServerInfo, REQ_APPEND, REQ_INFO, REQ_METRICS, REQ_QUERY, REQ_QUERY_DB, REQ_SQL,
+    RESP_APPEND, RESP_ERR, RESP_INFO, RESP_METRICS, RESP_QUERY, RESP_SQL,
 };
 use crate::service::{ProvingService, Served, ServiceError};
 use poneglyph_sql::{plan_from_bytes, plan_to_bytes};
@@ -120,78 +120,113 @@ fn write_error(stream: &mut TcpStream, e: &ServiceError) -> io::Result<()> {
     write_frame(stream, RESP_ERR, e.to_string().as_bytes())
 }
 
+/// Count one wire request in `poneglyph_requests_total{kind=...}`. Every
+/// `REQ_*` handler arm must call this first — enforced by the workspace
+/// source linter's `request-counter` rule.
+fn record_request(kind: &'static str) {
+    poneglyph_obs::global()
+        .counter(
+            "poneglyph_requests_total",
+            &[("kind", kind)],
+            "Wire requests handled, by frame kind",
+        )
+        .inc();
+}
+
 fn handle_connection(service: &ProvingService, mut stream: TcpStream) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     while let Some((msg_type, payload)) = read_frame(&mut stream)? {
         match msg_type {
             REQ_INFO => {
+                record_request("info");
                 let info = server_info(service);
                 write_frame(&mut stream, RESP_INFO, &info.to_bytes())?;
             }
             // Legacy v1 path: a bare plan against the default database.
-            REQ_QUERY => match plan_from_bytes(&payload) {
-                Ok(plan) => match service.query(plan) {
-                    Ok(served) => write_served(&mut stream, &served)?,
-                    Err(e) => write_error(&mut stream, &e)?,
-                },
-                Err(e) => write_frame(&mut stream, RESP_ERR, format!("bad plan: {e}").as_bytes())?,
-            },
-            REQ_QUERY_DB => match split_digest(&payload)
-                .and_then(|(digest, rest)| Ok((digest, plan_from_bytes(rest)?)))
-            {
-                Ok((digest, plan)) => match service.query_on(&digest, plan) {
-                    Ok(served) => write_served(&mut stream, &served)?,
-                    Err(e) => write_error(&mut stream, &e)?,
-                },
-                Err(e) => write_frame(
-                    &mut stream,
-                    RESP_ERR,
-                    format!("bad request: {e}").as_bytes(),
-                )?,
-            },
-            REQ_APPEND => match split_digest(&payload)
-                .and_then(|(digest, rest)| Ok((digest, decode_append_request(rest)?)))
-            {
-                Ok((digest, (table, rows))) => match service.append_rows(&digest, &table, rows) {
-                    Ok(stats) => {
-                        let ack = AppendAck {
-                            new_digest: stats.new_digest,
-                            epoch: stats.epoch,
-                            appended_rows: stats.appended_rows as u64,
-                            entries_invalidated: stats.entries_invalidated as u64,
-                            commit_update_micros: stats.commit_update.as_micros() as u64,
-                        };
-                        write_frame(&mut stream, RESP_APPEND, &ack.to_bytes())?;
+            REQ_QUERY => {
+                record_request("query");
+                match plan_from_bytes(&payload) {
+                    Ok(plan) => match service.query(plan) {
+                        Ok(served) => write_served(&mut stream, &served)?,
+                        Err(e) => write_error(&mut stream, &e)?,
+                    },
+                    Err(e) => {
+                        write_frame(&mut stream, RESP_ERR, format!("bad plan: {e}").as_bytes())?
                     }
-                    Err(e) => write_error(&mut stream, &e)?,
-                },
-                Err(e) => write_frame(
-                    &mut stream,
-                    RESP_ERR,
-                    format!("bad request: {e}").as_bytes(),
-                )?,
-            },
-            REQ_SQL => match split_digest(&payload)
-                .and_then(|(digest, rest)| Ok((digest, decode_sql_text(rest)?)))
-            {
-                Ok((digest, sql)) => match service.query_sql(&digest, &sql) {
-                    Ok((plan, served)) => {
-                        let plan_bytes = plan_to_bytes(&plan);
-                        let mut out = vec![u8::from(served.cache_hit)];
-                        out.extend_from_slice(&(plan_bytes.len() as u32).to_le_bytes());
-                        out.extend_from_slice(&plan_bytes);
-                        out.extend_from_slice(&served.response.to_bytes());
-                        write_frame(&mut stream, RESP_SQL, &out)?;
+                }
+            }
+            REQ_QUERY_DB => {
+                record_request("query_db");
+                match split_digest(&payload)
+                    .and_then(|(digest, rest)| Ok((digest, plan_from_bytes(rest)?)))
+                {
+                    Ok((digest, plan)) => match service.query_on(&digest, plan) {
+                        Ok(served) => write_served(&mut stream, &served)?,
+                        Err(e) => write_error(&mut stream, &e)?,
+                    },
+                    Err(e) => write_frame(
+                        &mut stream,
+                        RESP_ERR,
+                        format!("bad request: {e}").as_bytes(),
+                    )?,
+                }
+            }
+            REQ_APPEND => {
+                record_request("append");
+                match split_digest(&payload)
+                    .and_then(|(digest, rest)| Ok((digest, decode_append_request(rest)?)))
+                {
+                    Ok((digest, (table, rows))) => {
+                        match service.append_rows(&digest, &table, rows) {
+                            Ok(stats) => {
+                                let ack = AppendAck {
+                                    new_digest: stats.new_digest,
+                                    epoch: stats.epoch,
+                                    appended_rows: stats.appended_rows as u64,
+                                    entries_invalidated: stats.entries_invalidated as u64,
+                                    commit_update_micros: stats.commit_update.as_micros() as u64,
+                                };
+                                write_frame(&mut stream, RESP_APPEND, &ack.to_bytes())?;
+                            }
+                            Err(e) => write_error(&mut stream, &e)?,
+                        }
                     }
-                    Err(e) => write_error(&mut stream, &e)?,
-                },
-                Err(e) => write_frame(
-                    &mut stream,
-                    RESP_ERR,
-                    format!("bad request: {e}").as_bytes(),
-                )?,
-            },
+                    Err(e) => write_frame(
+                        &mut stream,
+                        RESP_ERR,
+                        format!("bad request: {e}").as_bytes(),
+                    )?,
+                }
+            }
+            REQ_SQL => {
+                record_request("sql");
+                match split_digest(&payload)
+                    .and_then(|(digest, rest)| Ok((digest, decode_sql_text(rest)?)))
+                {
+                    Ok((digest, sql)) => match service.query_sql(&digest, &sql) {
+                        Ok((plan, served)) => {
+                            let plan_bytes = plan_to_bytes(&plan);
+                            let mut out = vec![u8::from(served.cache_hit)];
+                            out.extend_from_slice(&(plan_bytes.len() as u32).to_le_bytes());
+                            out.extend_from_slice(&plan_bytes);
+                            out.extend_from_slice(&served.response.to_bytes());
+                            write_frame(&mut stream, RESP_SQL, &out)?;
+                        }
+                        Err(e) => write_error(&mut stream, &e)?,
+                    },
+                    Err(e) => write_frame(
+                        &mut stream,
+                        RESP_ERR,
+                        format!("bad request: {e}").as_bytes(),
+                    )?,
+                }
+            }
+            REQ_METRICS => {
+                record_request("metrics");
+                write_frame(&mut stream, RESP_METRICS, service.metrics_text().as_bytes())?;
+            }
             other => {
+                record_request("unknown");
                 write_frame(
                     &mut stream,
                     RESP_ERR,

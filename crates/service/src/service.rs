@@ -15,6 +15,7 @@
 use crate::cache::LruCache;
 use crate::registry::{digest_hex, DatabaseRegistry, DbEntry};
 use poneglyph_core::{AppliedDelta, DeltaLog, Parallelism, ProverSession, QueryResponse, RowBatch};
+use poneglyph_obs as obs;
 use poneglyph_pcs::IpaParams;
 use poneglyph_sql::{
     canonical_plan, canonical_plan_fingerprint, catalog_of, parse, plan_query, Database, Plan,
@@ -198,7 +199,92 @@ pub struct ServiceStats {
 struct Job {
     entry: Arc<DbEntry>,
     plan: Plan,
+    /// Enqueue time, for the queue-wait histogram (observed at dequeue).
+    submitted: Instant,
     reply: SyncSender<Result<Served, ServiceError>>,
+}
+
+/// Handles into the global metrics registry, resolved once at service
+/// construction so the hot path never takes the registration mutex. The
+/// counters mirror the `Shared` atomics (which remain authoritative for
+/// [`ProvingService::stats`]); gauges are set at scrape time by
+/// `refresh_metrics`.
+struct Metrics {
+    queue_wait: obs::Histogram,
+    proofs_generated: obs::Counter,
+    cache_hits: obs::Counter,
+    cache_misses: obs::Counter,
+    inflight_dedups: obs::Counter,
+    mutations: obs::Counter,
+    rows_appended: obs::Counter,
+    cache_bytes: obs::Gauge,
+    cache_entries: obs::Gauge,
+    cache_evictions: obs::Gauge,
+    prover_threads: obs::Gauge,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let reg = obs::global();
+        Self {
+            queue_wait: reg.histogram(
+                "poneglyph_queue_wait_nanos",
+                &[],
+                obs::nanos_buckets(),
+                "Time a job spent in the bounded queue before a worker dequeued it",
+            ),
+            proofs_generated: reg.counter(
+                "poneglyph_proofs_generated_total",
+                &[],
+                "Proofs actually generated (cache misses that reached the prover)",
+            ),
+            cache_hits: reg.counter(
+                "poneglyph_proof_cache_hits_total",
+                &[],
+                "Queries answered straight from the proof cache",
+            ),
+            cache_misses: reg.counter(
+                "poneglyph_proof_cache_misses_total",
+                &[],
+                "Queries that missed the proof cache",
+            ),
+            inflight_dedups: reg.counter(
+                "poneglyph_inflight_dedups_total",
+                &[],
+                "Queries that waited for an identical in-flight proof instead of proving again",
+            ),
+            mutations: reg.counter(
+                "poneglyph_mutations_total",
+                &[],
+                "Append batches applied across all hosted databases",
+            ),
+            rows_appended: reg.counter(
+                "poneglyph_rows_appended_total",
+                &[],
+                "Rows appended across all hosted databases",
+            ),
+            cache_bytes: reg.gauge(
+                "poneglyph_proof_cache_bytes",
+                &[],
+                "Approximate bytes currently held by the proof cache",
+            ),
+            cache_entries: reg.gauge(
+                "poneglyph_proof_cache_entries",
+                &[],
+                "Responses currently held by the proof cache",
+            ),
+            cache_evictions: reg.gauge(
+                "poneglyph_proof_cache_evictions",
+                &[],
+                "Responses evicted by the proof cache's capacity or byte bounds so far",
+            ),
+            prover_threads: reg.gauge(
+                "poneglyph_prover_threads",
+                &[],
+                "Effective per-proof thread budget",
+            ),
+        }
+    }
 }
 
 struct Shared {
@@ -210,6 +296,7 @@ struct Shared {
     /// Keys currently being proven, for in-flight deduplication.
     inflight: Mutex<HashSet<CacheKey>>,
     inflight_done: Condvar,
+    metrics: Metrics,
     proofs_generated: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -260,6 +347,7 @@ impl ProvingService {
             )),
             inflight: Mutex::new(HashSet::new()),
             inflight_done: Condvar::new(),
+            metrics: Metrics::new(),
             proofs_generated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -455,6 +543,11 @@ impl ProvingService {
         self.shared
             .rows_appended
             .fetch_add(batch.rows.len() as u64, Ordering::SeqCst);
+        self.shared.metrics.mutations.inc();
+        self.shared
+            .metrics
+            .rows_appended
+            .add(batch.rows.len() as u64);
 
         Ok(MutationStats {
             old_digest: *digest,
@@ -577,7 +670,12 @@ impl ProvingService {
 
     fn enqueue(&self, entry: Arc<DbEntry>, plan: Plan) -> JobHandle {
         let (reply, rx) = sync_channel(1);
-        let job = Job { entry, plan, reply };
+        let job = Job {
+            entry,
+            plan,
+            submitted: Instant::now(),
+            reply,
+        };
         if let Some(tx) = &self.tx {
             // A send error means every worker is gone; the handle will
             // resolve to `Shutdown` because the reply sender was dropped.
@@ -617,7 +715,12 @@ impl ProvingService {
 
     fn try_enqueue(&self, entry: Arc<DbEntry>, plan: Plan) -> Result<JobHandle, ServiceError> {
         let (reply, rx) = sync_channel(1);
-        let job = Job { entry, plan, reply };
+        let job = Job {
+            entry,
+            plan,
+            submitted: Instant::now(),
+            reply,
+        };
         match &self.tx {
             Some(tx) => match tx.try_send(job) {
                 Ok(()) => Ok(JobHandle { rx }),
@@ -680,6 +783,46 @@ impl ProvingService {
     /// with (the resolved [`ServiceConfig::prover_threads`]).
     pub fn prover_parallelism(&self) -> Parallelism {
         self.shared.parallelism
+    }
+
+    /// Render the global metrics registry in the Prometheus text
+    /// exposition format, with this service's scrape-time gauges (cache
+    /// occupancy, per-database mutation epochs, thread budget) refreshed
+    /// first. Backs both the `REQ_METRICS` wire frame and the
+    /// `GET /metrics` HTTP endpoint.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_metrics();
+        obs::global().render()
+    }
+
+    /// Set every gauge whose truth lives in service state rather than in
+    /// an event stream. Per-database epoch gauges are rebuilt from scratch
+    /// each scrape — mutation swaps retire digests, and a retired digest's
+    /// series must disappear rather than freeze at its last value.
+    fn refresh_metrics(&self) {
+        let m = &self.shared.metrics;
+        {
+            let cache = self.shared.cache.lock().expect("cache lock");
+            m.cache_bytes.set(cache.total_bytes() as i64);
+            m.cache_entries.set(cache.len() as i64);
+            m.cache_evictions.set(cache.evictions() as i64);
+        }
+        m.prover_threads
+            .set(self.shared.parallelism.threads() as i64);
+
+        let reg = obs::global();
+        reg.clear_series("poneglyph_db_epoch");
+        let registry = self.shared.registry.read().expect("registry lock");
+        for entry in registry.entries() {
+            let epoch = registry.epoch_of(&entry.digest).unwrap_or(0);
+            let db = digest_hex(&entry.digest[..16]);
+            reg.gauge(
+                "poneglyph_db_epoch",
+                &[("db", &db)],
+                "Mutation epoch of each hosted database (append batches absorbed)",
+            )
+            .set(epoch as i64);
+        }
     }
 
     /// A *consistent* snapshot for the info advertisement: the default
@@ -762,6 +905,10 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>, mut rng: StdR
             Err(_) => break,
         };
         let Ok(job) = job else { break };
+        shared
+            .metrics
+            .queue_wait
+            .observe(job.submitted.elapsed().as_nanos() as u64);
         let served = serve_one(&shared, &job.entry, &job.plan, &mut rng);
         // The client may have given up; a dead reply channel is fine.
         let _ = job.reply.send(served);
@@ -782,6 +929,14 @@ fn serve_one(
     let plan = canonical_plan(plan);
     let fingerprint = canonical_plan_fingerprint(&plan);
     let key: CacheKey = (entry.digest, fingerprint);
+    // The request trace covers everything on this worker thread from here
+    // on: the prover's stage spans attribute to it, and the completed
+    // record (with cache-hit flag) lands in the slow-query ring.
+    let _request = obs::begin_request(format!(
+        "{}:{}",
+        digest_hex(&entry.digest[..8]),
+        digest_hex(&fingerprint[..8])
+    ));
 
     // Claim the key, or wait for whoever holds it and take their result
     // from the cache. Lock order is inflight → cache throughout.
@@ -792,6 +947,8 @@ fn serve_one(
             if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
                 shared.cache_hits.fetch_add(1, Ordering::SeqCst);
                 entry.cache_hits.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.cache_hits.inc();
+                obs::mark_cache_hit();
                 return Ok(Served {
                     response: hit,
                     cache_hit: true,
@@ -803,6 +960,7 @@ fn serve_one(
             if !waited {
                 waited = true;
                 entry.inflight_dedups.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.inflight_dedups.inc();
             }
             inflight = shared.inflight_done.wait(inflight).expect("inflight wait");
         }
@@ -811,6 +969,8 @@ fn serve_one(
     shared.cache_misses.fetch_add(1, Ordering::SeqCst);
     shared.proofs_generated.fetch_add(1, Ordering::SeqCst);
     entry.proofs_generated.fetch_add(1, Ordering::SeqCst);
+    shared.metrics.cache_misses.inc();
+    shared.metrics.proofs_generated.inc();
     // One canonicalization + fingerprint per request: the session reuses
     // the values computed above for the cache key.
     let outcome = entry

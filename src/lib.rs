@@ -12,6 +12,8 @@
 //!
 //! The facade re-exports the full stack:
 //!
+//! * [`obs`] — bottom-of-stack observability (metrics registry, span
+//!   tracing, slow-query ring, leveled logging, `/metrics` HTTP responder)
 //! * [`arith`] — Pasta prime fields (254-bit, FFT-friendly)
 //! * [`par`] — scoped-thread parallelism primitives and the per-proof
 //!   thread budget ([`Parallelism`](par::Parallelism))
@@ -37,6 +39,7 @@ pub use poneglyph_baselines as baselines;
 pub use poneglyph_core as core;
 pub use poneglyph_curve as curve;
 pub use poneglyph_hash as hash;
+pub use poneglyph_obs as obs;
 pub use poneglyph_par as par;
 pub use poneglyph_pcs as pcs;
 pub use poneglyph_plonkish as plonkish;

@@ -1,0 +1,65 @@
+//! Observability must never reach the transcript: the proof bytes for the
+//! same seeded query are identical whether metrics collection is enabled
+//! or disabled. Kept in its own test binary because it toggles the
+//! process-wide enable flag, which would race against the metrics
+//! integration tests if they shared a process.
+
+use poneglyphdb::prelude::*;
+use poneglyphdb::sql::{CmpOp, ColumnType, Predicate, Schema};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn test_db() -> Database {
+    let mut db = Database::new();
+    let mut t = Table::empty(Schema::new(&[
+        ("id", ColumnType::Int),
+        ("grp", ColumnType::Int),
+        ("val", ColumnType::Int),
+    ]));
+    for (id, grp, val) in [(1, 7, 10), (2, 8, 20), (3, 7, 30), (4, 8, 40), (5, 9, 50)] {
+        t.push_row(&[id, grp, val]);
+    }
+    db.add_table("t", t);
+    db
+}
+
+fn prove_once(params: &IpaParams, db: &Database) -> Vec<u8> {
+    let plan = Plan::Filter {
+        input: Box::new(Plan::Scan { table: "t".into() }),
+        predicates: vec![Predicate::ColConst {
+            col: 2,
+            op: CmpOp::Ge,
+            value: 20,
+        }],
+    };
+    let session = ProverSession::new(params.clone(), db.clone());
+    let mut rng = StdRng::seed_from_u64(0x0b5e_0b5e);
+    session.prove(&plan, &mut rng).expect("prove").to_bytes()
+}
+
+#[test]
+fn proof_bytes_identical_with_metrics_on_and_off() {
+    let params = IpaParams::setup(11);
+    let db = test_db();
+
+    assert!(poneglyphdb::obs::enabled(), "metrics default to on");
+    let with_metrics = prove_once(&params, &db);
+
+    poneglyphdb::obs::set_enabled(false);
+    let without_metrics = prove_once(&params, &db);
+    poneglyphdb::obs::set_enabled(true);
+
+    assert_eq!(
+        with_metrics, without_metrics,
+        "metrics collection leaked into the proof transcript"
+    );
+
+    // And collection genuinely resumed: proving again with metrics back on
+    // moves the span histogram.
+    let before = poneglyphdb::obs::span_histogram("prove.commit").count();
+    let again = prove_once(&params, &db);
+    assert_eq!(again, with_metrics, "re-enabling must not change proofs");
+    assert!(
+        poneglyphdb::obs::span_histogram("prove.commit").count() > before,
+        "re-enabled metrics must observe the new proof"
+    );
+}

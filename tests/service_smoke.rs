@@ -262,6 +262,80 @@ fn legacy_v1_plan_queries_still_served() {
     server.stop();
 }
 
+/// The numeric value of the first sample of `name` whose line contains
+/// every fragment (comments skipped), or 0.0 when the series is absent.
+fn scrape_value(text: &str, name: &str, frags: &[&str]) -> f64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            let series = l.split_whitespace().next().unwrap_or("");
+            series == name || series.starts_with(&format!("{name}{{"))
+        })
+        .find(|l| frags.iter().all(|f| l.contains(f)))
+        .and_then(|l| l.split_whitespace().last()?.parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn metrics_scrapes_stay_monotone_across_requests() {
+    // Two scrapes bracketing a proved query plus a cached repeat: every
+    // core counter series is non-decreasing, and the ones the traffic must
+    // move (requests, proofs, hits) strictly increase.
+    let params = IpaParams::setup(11);
+    let service = Arc::new(ProvingService::new(
+        params.clone(),
+        test_db(),
+        ServiceConfig::default(),
+    ));
+    let digest = service.digest();
+    let server = ServiceServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    let first = client.metrics().expect("first scrape");
+    client
+        .query_verified_on(&params, &digest, &query_plan())
+        .expect("proved query");
+    client
+        .query_verified_on(&params, &digest, &query_plan())
+        .expect("cached repeat");
+    let second = client.metrics().expect("second scrape");
+
+    const CORE_COUNTERS: &[&str] = &[
+        "poneglyph_proofs_generated_total",
+        "poneglyph_proof_cache_hits_total",
+        "poneglyph_proof_cache_misses_total",
+        "poneglyph_inflight_dedups_total",
+        "poneglyph_mutations_total",
+        "poneglyph_rows_appended_total",
+        "poneglyph_queue_wait_nanos_count",
+        "poneglyph_keygens_total",
+    ];
+    for name in CORE_COUNTERS {
+        assert!(
+            scrape_value(&second, name, &[]) >= scrape_value(&first, name, &[]),
+            "{name} went backwards between scrapes"
+        );
+    }
+    let queries = ["kind=\"query_db\""];
+    assert!(
+        scrape_value(&second, "poneglyph_requests_total", &queries)
+            >= scrape_value(&first, "poneglyph_requests_total", &queries) + 2.0,
+        "two wire queries must be counted"
+    );
+    assert!(
+        scrape_value(&second, "poneglyph_proofs_generated_total", &[])
+            > scrape_value(&first, "poneglyph_proofs_generated_total", &[]),
+        "the proved query must move the proof counter"
+    );
+    assert!(
+        scrape_value(&second, "poneglyph_proof_cache_hits_total", &[])
+            > scrape_value(&first, "poneglyph_proof_cache_hits_total", &[]),
+        "the repeat must move the cache-hit counter"
+    );
+
+    server.stop();
+}
+
 #[test]
 fn server_reports_clean_errors_for_bad_requests() {
     let params = IpaParams::setup(11);
